@@ -1,0 +1,17 @@
+"""Figure 1 — cumulative optimization waterfall (31x speed, 20x capacity)."""
+
+from conftest import attach_summary, record_result
+from repro.bench.experiments import fig1_waterfall
+
+
+def test_fig1_waterfall(benchmark):
+    result = fig1_waterfall.run()
+    record_result(result)
+    attach_summary(benchmark, result)
+    benchmark(fig1_waterfall.run)
+    assert 25.0 < result.summary["final_speedup"] < 40.0       # paper 31x
+    assert 16.0 < result.summary["final_capacity_gain"] < 25.0  # paper 20x
+    speeds = result.column("speed (img/s)")
+    # batching is the single largest jump, as in the paper's figure
+    jumps = [speeds[i + 1] / speeds[i] for i in range(len(speeds) - 1)]
+    assert max(jumps) == jumps[2]

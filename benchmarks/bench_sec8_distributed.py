@@ -1,0 +1,52 @@
+"""Section 8 — the 14-GPU distributed search system."""
+
+import numpy as np
+
+from conftest import attach_summary, record_result
+from repro.bench.experiments import sec8_distributed
+from repro.core import EngineConfig
+from repro.distributed import DistributedSearchSystem, FeatureRecord, deserialize_record, serialize_record
+
+
+def test_sec8_system(benchmark):
+    result = sec8_distributed.run()
+    record_result(result)
+    attach_summary(benchmark, result)
+    benchmark.pedantic(
+        sec8_distributed.run,
+        kwargs=dict(functional_nodes=2, functional_bricks=4),
+        rounds=1, iterations=1,
+    )
+    assert result.summary["functional_top1_correct"]
+    # paper: 10.8 M cached matrices, 872,984 img/s, ~1.15 s for 1M
+    assert result.summary["cluster_capacity_images"] == 10_824_021 or (
+        abs(result.summary["cluster_capacity_images"] - 10.8e6) / 10.8e6 < 0.05
+    )
+    assert abs(result.summary["cluster_speed_images_per_s"] - 872_984) / 872_984 < 0.15
+
+
+def test_cluster_search_kernel(benchmark):
+    """Wall-clock of one scatter-gather search over a 4-node cluster."""
+    rng = np.random.default_rng(0)
+    cfg = EngineConfig(m=64, n=64, batch_size=4, min_matches=5, scale_factor=0.25)
+    system = DistributedSearchSystem(4, cfg)
+    descs = {}
+    for i in range(16):
+        d = rng.random((128, 64)).astype(np.float32)
+        descs[i] = d / np.linalg.norm(d, axis=0, keepdims=True) * 512
+        system.add(f"r{i}", descs[i])
+    query = np.abs(descs[7] + rng.normal(0, 3, descs[7].shape)).astype(np.float32)
+    result = benchmark(system.search, query)
+    assert result.best().reference_id == "r7"
+
+
+def test_serialization_kernel(benchmark):
+    """Wall-clock of a protobuf-style roundtrip of one m=384 record."""
+    rng = np.random.default_rng(1)
+    record = FeatureRecord("brick-1", rng.random((128, 384)).astype(np.float16), "fp16", 0.25)
+
+    def roundtrip():
+        return deserialize_record(serialize_record(record))
+
+    back = benchmark(roundtrip)
+    assert back.ref_id == "brick-1"

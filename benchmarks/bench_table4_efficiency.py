@@ -1,0 +1,23 @@
+"""Table 4 — GPU efficiency (Eq. 3) at batch 1024."""
+
+from conftest import attach_summary, record_result
+from repro.bench.experiments import table4_efficiency
+from repro.metrics import gpu_efficiency
+from repro.gpusim import TESLA_P100
+
+
+def test_table4_rows(benchmark):
+    result = table4_efficiency.run()
+    record_result(result)
+    attach_summary(benchmark, result)
+    benchmark(table4_efficiency.run)
+    p100 = result.summary["Tesla P100 card"]
+    v100 = result.summary["Tesla V100 card w/o Tensor Core"]
+    tc = result.summary["Tesla V100 card w/ Tensor Core"]
+    assert 0.30 < p100 < 0.42       # paper 35.8%
+    assert 0.28 < v100 < 0.42       # paper 35.5%
+    assert tc < 0.15                # paper 11.4% — TC peak is unreachable
+
+
+def test_efficiency_metric_kernel(benchmark):
+    benchmark(gpu_efficiency, TESLA_P100, 45539.0)

@@ -1,0 +1,23 @@
+"""Table 6 — multi-stream overlap of PCIe transfer and compute."""
+
+from conftest import attach_summary, record_result
+from repro.bench.experiments import table6_streams
+from repro.gpusim import KernelCalibration, TESLA_P100
+from repro.pipeline import plan_streams
+
+
+def test_table6_rows(benchmark):
+    result = table6_streams.run()
+    record_result(result)
+    attach_summary(benchmark, result)
+    benchmark(table6_streams.run)
+    b512 = [row for row in result.rows if row[0] == 512]
+    speeds = [row[3] for row in b512]
+    assert speeds == sorted(speeds)  # more streams, more speed
+    assert result.summary["b512_s8_efficiency"] > 0.80  # paper 87.3%
+    assert result.summary["theoretical_images_per_s"] < 49000  # PCIe bound
+
+
+def test_stream_planner_kernel(benchmark):
+    cal = KernelCalibration.for_device(TESLA_P100)
+    benchmark(plan_streams, TESLA_P100, cal, 8, 512)

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Capacity planning: how many reference textures fit on a node?
+
+Reproduces the paper's capacity arithmetic across configurations —
+precision, feature count m, hybrid-cache size — and shows where the
+headline "20x larger capacity" (Fig. 1) comes from.
+"""
+
+from repro.bench.tables import format_table
+from repro.cache import plan_capacity
+
+GIB = 1024**3
+
+
+def main() -> None:
+    rows = []
+    configs = [
+        ("FP32, m=768, GPU only (baseline)", dict(m=768, precision="fp32")),
+        ("FP16, m=768, GPU only (Sec. 6: ~85k)", dict(m=768, precision="fp16")),
+        ("FP16, m=768, +64 GB host", dict(m=768, precision="fp16", host_cache_bytes=64 * 10**9)),
+        ("FP16, m=384, +64 GB host", dict(m=384, precision="fp16", host_cache_bytes=64 * 10**9)),
+        ("Sec. 8 container (4 GB reserved)", dict(
+            m=384, precision="fp16",
+            gpu_reserved_bytes=4 * GIB, host_cache_bytes=64 * 10**9,
+        )),
+    ]
+    baseline = None
+    for label, kwargs in configs:
+        plan = plan_capacity(**kwargs)
+        if baseline is None:
+            baseline = plan.total_images
+        rows.append([
+            label,
+            f"{plan.bytes_per_image / 1024:.1f} KiB",
+            f"{plan.gpu_images:,}",
+            f"{plan.host_images:,}",
+            f"{plan.total_images:,}",
+            f"{plan.total_images / baseline:.1f}x",
+        ])
+    print(format_table(
+        ["configuration", "bytes/image", "GPU images", "host images", "total", "vs baseline"],
+        rows,
+        title="Single-node capacity (Tesla P100 16 GB)",
+    ))
+
+    sec8 = plan_capacity(m=384, precision="fp16",
+                         gpu_reserved_bytes=4 * GIB, host_cache_bytes=64 * 10**9)
+    print(f"\n14-container cluster: {sec8.total_images * 14 / 1e6:.1f} M cached "
+          f"reference matrices (paper: 10.8 M)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+#!/usr/bin/env python
+"""Material authentication with SURF (d=64) descriptors.
+
+The paper notes the engine is descriptor-agnostic ("d is 128 for SIFT,
+while d is 64 for SURF", Sec. 4.1).  This example runs the whole stack
+at d=64: SURF's box-filter Hessian detection on integral images, 64-D
+Haar descriptors, L2 unit-normalisation (RootSIFT is SIFT-specific),
+and the batched FP16 engine — halving both the cache footprint and the
+GEMM work per comparison.
+"""
+
+import numpy as np
+
+from repro.bench.tables import format_table
+from repro.core import EngineConfig, TextureSearchEngine
+from repro.data import QUERY_PROFILE, REFERENCE_PROFILE, CaptureSimulator, TeaBrickGenerator
+from repro.features import SURFConfig, SURFExtractor
+
+N_ITEMS = 6
+IMAGE_SIZE = 160
+M, N = 64, 96
+
+
+def main() -> None:
+    generator = TeaBrickGenerator(size=IMAGE_SIZE, seed=77)
+    factory = CaptureSimulator(REFERENCE_PROFILE)
+    phone = CaptureSimulator(QUERY_PROFILE)
+    extractor = SURFExtractor(SURFConfig(n_features=N))
+
+    engine = TextureSearchEngine(
+        EngineConfig(d=64, m=M, n=N, batch_size=3, min_matches=5,
+                     scale_factor=0.25, normalization="l2")
+    )
+    sift_bytes = M * 128 * 2
+    surf_bytes = engine.config.feature_matrix_bytes()
+    print(f"SURF cache footprint: {surf_bytes} B/item "
+          f"(vs {sift_bytes} B with SIFT at the same m) — "
+          f"{sift_bytes / surf_bytes:.0f}x smaller\n")
+
+    print(f"enrolling {N_ITEMS} material samples ...")
+    canonical = {}
+    for item in range(N_ITEMS):
+        canonical[item] = generator.brick(item)
+        photo = factory.capture(canonical[item], np.random.default_rng(7000 + item))
+        features = extractor.extract(photo, n_features=M)
+        engine.add_reference(f"item-{item}", features.descriptors)
+        print(f"  item-{item}: {features.count} SURF features")
+    engine.flush()
+
+    rows = []
+    correct = 0
+    for item in range(N_ITEMS):
+        photo = phone.capture(canonical[item], np.random.default_rng(7100 + item))
+        query = extractor.extract(photo, n_features=N)
+        result = engine.search(query.descriptors)
+        best = result.best()
+        ok = best.reference_id == f"item-{item}" and best.score >= engine.config.min_matches
+        correct += ok
+        rows.append([f"item-{item}", query.count, best.reference_id,
+                     best.good_matches, "OK" if ok else "MISS"])
+    print()
+    print(format_table(
+        ["query of", "features", "best match", "good matches", "verdict"],
+        rows, title="SURF identification round-trip",
+    ))
+    print(f"\n{correct}/{N_ITEMS} authenticated")
+    print("\nsimulated per-step profile (d=64 halves the GEMM work):")
+    print(engine.profile_report())
+
+
+if __name__ == "__main__":
+    main()

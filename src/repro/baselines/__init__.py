@@ -1,0 +1,30 @@
+"""Comparison baselines: the OpenCV CUDA brute-force matcher and the
+Garcia et al. cuBLAS KNN with insertion sort (Table 1 columns 1-2)."""
+
+from .cbir_ivf import CbirVote, IVFPQIndex, ProductQuantizer, kmeans
+from .lsh import LshCodec, LshMatcher
+from .cublas_garcia import garcia_knn_match, garcia_memory_bytes, make_prepared
+from .opencv_cuda import (
+    CONTEXT_OVERHEAD_BYTES,
+    DIST_KERNEL_EFF_FP32,
+    opencv_knn_match,
+    opencv_memory_bytes,
+    opencv_search_time_us,
+)
+
+__all__ = [
+    "CONTEXT_OVERHEAD_BYTES",
+    "CbirVote",
+    "DIST_KERNEL_EFF_FP32",
+    "IVFPQIndex",
+    "LshCodec",
+    "LshMatcher",
+    "ProductQuantizer",
+    "garcia_knn_match",
+    "kmeans",
+    "garcia_memory_bytes",
+    "make_prepared",
+    "opencv_knn_match",
+    "opencv_memory_bytes",
+    "opencv_search_time_us",
+]

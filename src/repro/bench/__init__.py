@@ -1,0 +1,17 @@
+"""Benchmark harness: table formatting, serial-chain compositions, and
+the per-table/figure experiment runners."""
+
+from .chains import algorithm1_steps, algorithm2_steps, chain_speed, hybrid_speed
+from .experiments import ALL_EXPERIMENTS
+from .tables import ExperimentResult, fmt, format_table
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ExperimentResult",
+    "algorithm1_steps",
+    "algorithm2_steps",
+    "chain_speed",
+    "fmt",
+    "format_table",
+    "hybrid_speed",
+]

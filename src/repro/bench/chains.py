@@ -1,0 +1,105 @@
+"""Serial-chain timing compositions shared by the experiments.
+
+Tables 1, 3, 5 and Fig. 4 all measure the single-stream pipeline where
+every stage serialises (one CPU thread drives the GPU synchronously).
+These helpers compose the calibrated kernel models into those chains at
+the paper's dimensions.
+"""
+
+from __future__ import annotations
+
+from ..gpusim.calibration import KernelCalibration
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernels import (
+    d2h_result_us,
+    dtype_bytes,
+    elementwise_us,
+    gemm_us,
+    insertion_sort_us,
+    postprocess_us,
+    top2_scan_us,
+)
+from ..gpusim.pcie import h2d_time_us
+
+__all__ = ["algorithm1_steps", "algorithm2_steps", "chain_speed", "hybrid_speed"]
+
+
+def algorithm1_steps(
+    spec: DeviceSpec,
+    cal: KernelCalibration,
+    m: int = 768,
+    n: int = 768,
+    d: int = 128,
+    dtype: str = "fp32",
+    sort_kind: str = "scan",
+) -> dict[str, float]:
+    """Per-image step times (us) of Algorithm 1, Table 1 layout."""
+    if sort_kind == "scan":
+        sort = top2_scan_us(spec, cal, m, n, dtype)
+    elif sort_kind == "insertion":
+        sort = insertion_sort_us(spec, cal, m, n, dtype)
+    else:
+        raise ValueError(f"unknown sort_kind {sort_kind!r}")
+    return {
+        "GEMM/step3": gemm_us(spec, cal, m, n, d, 1, dtype),
+        "Add N_R/step4": elementwise_us(spec, cal, m * n, dtype),
+        "Top-2 sort/step5": sort,
+        "Add N_Q and Sqrt/step6&7": elementwise_us(spec, cal, 2 * n, dtype),
+        "D2H copy/step8": d2h_result_us(spec, cal, n, 1, 2, dtype),
+        "Post-processing/CPU": postprocess_us(cal, 1, dtype, n),
+    }
+
+
+def algorithm2_steps(
+    spec: DeviceSpec,
+    cal: KernelCalibration,
+    m: int = 768,
+    n: int = 768,
+    d: int = 128,
+    batch: int = 1,
+    dtype: str = "fp16",
+    tensor_core: bool = False,
+) -> dict[str, float]:
+    """Per-*batch* step times (us) of Algorithm 2, Table 3 layout."""
+    return {
+        "HGEMM/step1": gemm_us(spec, cal, m, n, d, batch, dtype, tensor_core),
+        "Sort and Sqrt/step2&3": top2_scan_us(spec, cal, m, batch * n, dtype)
+        + elementwise_us(spec, cal, 2 * batch * n, dtype),
+        "D2H memory copy/step4": d2h_result_us(spec, cal, n, batch, 2, dtype),
+        "Post-processing/CPU": postprocess_us(cal, batch, dtype, n),
+    }
+
+
+def chain_speed(steps: dict[str, float], batch: int = 1) -> float:
+    """Images/s of a serial chain: ``batch / sum(steps)``."""
+    total = sum(steps.values())
+    if total <= 0:
+        raise ValueError("chain must have positive duration")
+    return batch / total * 1e6
+
+
+def hybrid_speed(
+    spec: DeviceSpec,
+    cal: KernelCalibration,
+    location: str,
+    m: int = 768,
+    n: int = 768,
+    d: int = 128,
+    batch: int = 1024,
+    dtype: str = "fp16",
+) -> float:
+    """Table 5: single-stream search speed by cache location.
+
+    ``location``: "gpu", "host-pinned", or "host-pageable".  Host
+    locations prepend the per-batch PCIe transfer to the serial chain.
+    """
+    steps = algorithm2_steps(spec, cal, m, n, d, batch, dtype)
+    total = sum(steps.values())
+    if location == "gpu":
+        pass
+    elif location in ("host-pinned", "host-pageable"):
+        nbytes = batch * m * d * dtype_bytes(dtype)
+        total += h2d_time_us(spec, nbytes, pinned=(location == "host-pinned"))
+    else:
+        raise ValueError(f"unknown location {location!r}")
+    return batch / total * 1e6

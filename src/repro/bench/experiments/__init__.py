@@ -1,0 +1,56 @@
+"""One experiment runner per paper table/figure (see DESIGN.md Sec. 4
+for the experiment index)."""
+
+from types import SimpleNamespace
+
+from . import (
+    ablations,
+    device_sweep,
+    fig1_waterfall,
+    fig4_batching,
+    sec8_distributed,
+    table1_cublas,
+    table2_fp16,
+    table3_batch_steps,
+    table4_efficiency,
+    table5_hybrid_cache,
+    table6_streams,
+    table7_asymmetric,
+)
+
+ALL_EXPERIMENTS = {
+    "fig1": fig1_waterfall,
+    "table1": table1_cublas,
+    "table2": table2_fp16,
+    "table3": table3_batch_steps,
+    "fig4": fig4_batching,
+    "table4": table4_efficiency,
+    "table5": table5_hybrid_cache,
+    "table6": table6_streams,
+    "table7": table7_asymmetric,
+    "sec8": sec8_distributed,
+    # design-choice ablations (DESIGN.md Sec. 4)
+    "ablation-sort": SimpleNamespace(run=ablations.run_sort_ablation),
+    "ablation-query-batch": SimpleNamespace(run=ablations.run_query_batch_ablation),
+    "ablation-cbir": SimpleNamespace(run=ablations.run_cbir_ablation),
+    "ablation-streams": SimpleNamespace(run=ablations.run_stream_model_ablation),
+    "ablation-verification": SimpleNamespace(run=ablations.run_verification_ablation),
+    "ablation-lsh": SimpleNamespace(run=ablations.run_lsh_ablation),
+    "device-sweep": device_sweep,
+}
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "ablations",
+    "device_sweep",
+    "fig1_waterfall",
+    "fig4_batching",
+    "sec8_distributed",
+    "table1_cublas",
+    "table2_fp16",
+    "table3_batch_steps",
+    "table4_efficiency",
+    "table5_hybrid_cache",
+    "table6_streams",
+    "table7_asymmetric",
+]

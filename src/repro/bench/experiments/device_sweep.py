@@ -1,0 +1,60 @@
+"""Forward-looking device sweep.
+
+The paper notes its FP16 design also targets newer cards ("such as
+Tesla P100, V100, and A100", Sec. 4.2).  This experiment predicts the
+production configuration's behaviour across the device registry:
+GPU-resident speed, host-streamed speed (hybrid cache + 8 streams),
+single-node capacity, and the PCIe bound that determines whether the
+asymmetric optimization has moved the bottleneck.
+"""
+
+from __future__ import annotations
+
+from ...cache.capacity import plan_capacity
+from ...gpusim.calibration import KernelCalibration
+from ...gpusim.device import DEVICE_REGISTRY
+from ...pipeline.scheduler import plan_streams
+from ..chains import algorithm2_steps, chain_speed
+from ..tables import ExperimentResult
+
+__all__ = ["run"]
+
+GIB = 1024**3
+
+
+def run(
+    m: int = 384,
+    n: int = 768,
+    d: int = 128,
+    batch: int = 256,
+    streams: int = 8,
+    host_cache_bytes: int = 64 * 10**9,
+) -> ExperimentResult:
+    result = ExperimentResult(
+        name=f"Device sweep: production config m={m} n={n} FP16, batch {batch}, "
+        f"{streams} streams",
+        headers=["device", "GPU-resident (img/s)", "hybrid+streams (img/s)",
+                 "PCIe bound (img/s)", "bottleneck", "capacity (images)"],
+    )
+    for key in ("p100", "v100", "a100"):
+        spec = DEVICE_REGISTRY[key]
+        cal = KernelCalibration.for_device(spec)
+        resident = chain_speed(algorithm2_steps(spec, cal, m, n, d, batch, "fp16"), batch)
+        plan = plan_streams(spec, cal, streams, batch, m, n, d, "fp16")
+        hybrid = min(plan.throughput_images_per_s, resident)
+        bottleneck = "PCIe" if plan.theoretical_images_per_s < resident else "compute"
+        capacity = plan_capacity(
+            m=m, d=d, precision="fp16", gpu_mem_bytes=spec.mem_bytes,
+            gpu_reserved_bytes=4 * GIB, host_cache_bytes=host_cache_bytes,
+        ).total_images
+        result.rows.append(
+            [spec.name, int(round(resident)), int(round(hybrid)),
+             int(round(plan.theoretical_images_per_s)), bottleneck, capacity]
+        )
+        result.summary[key] = hybrid
+    result.notes.append(
+        "at m=384 the P100 is compute-bound (the Sec. 7 result); faster "
+        "cards with the same PCIe Gen3 link flip back to transfer-bound "
+        "unless the link improves with them (A100: PCIe Gen4)"
+    )
+    return result

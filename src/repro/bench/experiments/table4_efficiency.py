@@ -1,0 +1,54 @@
+"""Table 4 — GPU efficiency (Eq. 3) at batch 1024.
+
+Paper: P100 45,539 img/s = 6.69 achieved TFLOPS = 35.8 % of 18.7;
+V100 67,612 = 35.5 % of 28; V100 + tensor cores 86,519 = 11.4 % of 112.
+HGEMM-only efficiency reaches 67.9 % / 65.7 % (Sec. 5.3).
+"""
+
+from __future__ import annotations
+
+from ...gpusim.calibration import KernelCalibration
+from ...gpusim.device import TESLA_P100, TESLA_V100
+from ...gpusim.kernels import gemm_us
+from ...metrics.throughput import gemm_flops_per_image, gpu_efficiency
+from ..chains import algorithm2_steps, chain_speed
+from ..tables import ExperimentResult
+
+__all__ = ["run"]
+
+
+def run(batch: int = 1024, m: int = 768, n: int = 768, d: int = 128) -> ExperimentResult:
+    configs = [
+        ("Tesla P100 card", TESLA_P100, False),
+        ("Tesla V100 card w/o Tensor Core", TESLA_V100, False),
+        ("Tesla V100 card w/ Tensor Core", TESLA_V100, True),
+    ]
+    result = ExperimentResult(
+        name=f"Table 4: GPU efficiency, m={m} n={n} d={d}, batch={batch}",
+        headers=["GPU type", "Speed (img/s)", "Achieved TFLOPS",
+                 "Theoretical TFLOPS (FP16)", "Efficiency", "HGEMM-only eff."],
+    )
+    for label, spec, tc in configs:
+        cal = KernelCalibration.for_device(spec)
+        steps = algorithm2_steps(spec, cal, m, n, d, batch, "fp16", tc)
+        speed = chain_speed(steps, batch)
+        report = gpu_efficiency(spec, speed, m, n, d, "fp16", tc)
+        hgemm_time = gemm_us(spec, cal, m, n, d, batch, "fp16", tc)
+        hgemm_eff = (
+            gemm_flops_per_image(m, n, d) * batch / (hgemm_time * 1e-6)
+        ) / (spec.peak_tflops("fp16", tc) * 1e12)
+        result.rows.append(
+            [
+                label,
+                int(round(speed)),
+                round(report.achieved_tflops, 2),
+                report.theoretical_tflops,
+                f"{report.efficiency:.1%}",
+                f"{hgemm_eff:.1%}",
+            ]
+        )
+        result.summary[label] = report.efficiency
+    result.notes.append(
+        "paper: 35.8% / 35.5% / 11.4% whole-pipeline; 67.9% / 65.7% HGEMM-only"
+    )
+    return result

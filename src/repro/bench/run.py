@@ -1,0 +1,101 @@
+"""Command-line experiment runner.
+
+Regenerate any of the paper's tables/figures from a shell::
+
+    python -m repro.bench.run table1            # one experiment
+    python -m repro.bench.run fig4 table6       # several
+    python -m repro.bench.run all               # everything
+    python -m repro.bench.run all --quick       # skip accuracy sweeps
+    python -m repro.bench.run table7 --bricks 80 --queries 2
+
+Exit code is non-zero if any requested experiment raises.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from .experiments import ALL_EXPERIMENTS
+
+__all__ = ["main", "build_parser"]
+
+#: experiments whose runtime is dominated by functional accuracy sweeps.
+_ACCURACY_EXPERIMENTS = {"table2", "table7"}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.bench.run",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="+",
+        metavar="EXPERIMENT",
+        help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, or 'all'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="skip the functional accuracy sweeps (Tables 2 and 7 accuracy columns)",
+    )
+    parser.add_argument(
+        "--bricks",
+        type=int,
+        default=None,
+        help="dataset size for the accuracy sweeps (default: experiment default)",
+    )
+    parser.add_argument(
+        "--queries",
+        type=int,
+        default=None,
+        help="queries per brick for Table 7 (default: experiment default)",
+    )
+    return parser
+
+
+def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
+    kwargs: dict = {}
+    if name in _ACCURACY_EXPERIMENTS:
+        if args.quick:
+            kwargs["with_accuracy"] = False
+        if args.bricks is not None:
+            kwargs["n_bricks"] = args.bricks
+        if name == "table7" and args.queries is not None:
+            kwargs["queries_per_brick"] = args.queries
+    return kwargs
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = list(dict.fromkeys(args.experiments))  # de-dup, keep order
+    if "all" in names:
+        names = list(ALL_EXPERIMENTS)
+    unknown = [n for n in names if n not in ALL_EXPERIMENTS]
+    if unknown:
+        print(
+            f"unknown experiment(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(ALL_EXPERIMENTS))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    failures = 0
+    for name in names:
+        started = time.perf_counter()
+        try:
+            result = ALL_EXPERIMENTS[name].run(**_kwargs_for(name, args))
+        except Exception as exc:  # surface, keep going
+            failures += 1
+            print(f"[{name}] FAILED: {exc}", file=sys.stderr)
+            continue
+        elapsed = time.perf_counter() - started
+        print(result.to_text())
+        print(f"[{name}] completed in {elapsed:.1f}s\n")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

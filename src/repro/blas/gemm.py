@@ -1,0 +1,165 @@
+"""cuBLAS-like GEMM entry points.
+
+These functions compute the *actual* product with NumPy and charge the
+simulated device for the time cuBLAS would take (see
+:func:`repro.gpusim.kernels.gemm_us`).  Numerical behaviour mirrors the
+hardware paths:
+
+* ``sgemm`` — FP32 in, FP32 accumulate.
+* ``hgemm`` — FP16 in.  Plain HGEMM accumulates in FP16 (the paper's
+  Table 2 overflow column exists *because* of FP16 accumulation); the
+  tensor-core path (``tensor_core=True``) accumulates in FP32, as Volta
+  tensor cores do.
+
+SIFT descriptors are element-wise non-negative, so all partial sums of
+``R^T Q`` are monotone non-decreasing — the largest intermediate equals
+the final dot product.  That lets us detect FP16 accumulation overflow
+exactly without emulating the 128-step summation: a product overflows
+iff its FP32 value exceeds ``float16`` max.  Inputs with mixed signs
+fall back to a conservative bound (sum of absolute values).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpusim.engine_model import GPUDevice
+from ..gpusim.stream import Stream
+
+__all__ = ["sgemm", "hgemm", "batched_hgemm", "FP16_MAX"]
+
+FP16_MAX = float(np.finfo(np.float16).max)  # 65504.0
+
+
+def _as_2d(a: np.ndarray, name: str) -> np.ndarray:
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"{name} must be 2-D, got shape {a.shape}")
+    return a
+
+
+def sgemm(
+    device: GPUDevice,
+    a: np.ndarray,
+    b: np.ndarray,
+    alpha: float = 1.0,
+    transpose_a: bool = False,
+    stream: Optional[Stream] = None,
+    step: str = "GEMM",
+) -> np.ndarray:
+    """``alpha * op(A) @ B`` in FP32, charging simulated GEMM time."""
+    a = _as_2d(a, "a").astype(np.float32, copy=False)
+    b = _as_2d(b, "b").astype(np.float32, copy=False)
+    op_a = a.T if transpose_a else a
+    if op_a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {op_a.shape} @ {b.shape}")
+    m, k = op_a.shape
+    n = b.shape[1]
+    device.gemm(m, n, k, batch=1, dtype="fp32", stream=stream, step=step)
+    return np.float32(alpha) * (op_a @ b)
+
+
+def _hgemm_product(op_a: np.ndarray, b: np.ndarray, tensor_core: bool) -> tuple[np.ndarray, bool]:
+    """FP16 product with accumulation-overflow detection.
+
+    Returns ``(result_fp32, overflowed)``.  ``result`` is the value an
+    FP32-accumulating engine would produce from FP16 operands; callers
+    that model plain HGEMM must treat ``overflowed=True`` outputs as
+    saturated/invalid (the library raises, see :mod:`repro.fp16`).
+    """
+    a16 = op_a.astype(np.float16)
+    b16 = b.astype(np.float16)
+    exact = a16.astype(np.float32) @ b16.astype(np.float32)
+    if tensor_core:
+        # FP32 accumulation: only the final store can overflow.
+        overflow = bool(np.any(np.abs(exact) > FP16_MAX))
+        return exact, overflow
+    if np.all(a16 >= 0) and np.all(b16 >= 0):
+        # Non-negative operands: partial sums are monotone, the max
+        # intermediate is the final value.
+        overflow = bool(np.any(exact > FP16_MAX))
+    else:
+        # Conservative bound on the largest partial sum.
+        bound = np.abs(a16).astype(np.float32) @ np.abs(b16).astype(np.float32)
+        overflow = bool(np.any(bound > FP16_MAX))
+    # Model FP16 rounding of the accumulator on the final result.  (The
+    # per-step rounding error is dominated by input quantization for the
+    # d=128 sums used here.)
+    result = np.clip(exact, -FP16_MAX, FP16_MAX).astype(np.float16).astype(np.float32)
+    return result, overflow
+
+
+def hgemm(
+    device: GPUDevice,
+    a: np.ndarray,
+    b: np.ndarray,
+    alpha: float = 1.0,
+    transpose_a: bool = False,
+    tensor_core: bool = False,
+    stream: Optional[Stream] = None,
+    step: str = "GEMM",
+) -> tuple[np.ndarray, bool]:
+    """FP16 GEMM; returns ``(alpha * op(A) @ B as float32, overflowed)``."""
+    a = _as_2d(a, "a")
+    b = _as_2d(b, "b")
+    op_a = a.T if transpose_a else a
+    if op_a.shape[1] != b.shape[0]:
+        raise ValueError(f"shape mismatch: {op_a.shape} @ {b.shape}")
+    m, k = op_a.shape
+    n = b.shape[1]
+    device.gemm(m, n, k, batch=1, dtype="fp16", tensor_core=tensor_core, stream=stream, step=step)
+    result, overflow = _hgemm_product(op_a, b, tensor_core)
+    scaled = np.float32(alpha) * result
+    if abs(alpha) != 1.0 and not tensor_core:
+        overflow = overflow or bool(np.any(np.abs(scaled) > FP16_MAX))
+    return scaled, overflow
+
+
+def batched_hgemm(
+    device: GPUDevice,
+    a_batch: np.ndarray,
+    b: np.ndarray,
+    alpha: float = 1.0,
+    tensor_core: bool = False,
+    stream: Optional[Stream] = None,
+    step: str = "GEMM",
+) -> tuple[np.ndarray, bool]:
+    """Batched FP16 GEMM: ``a_batch`` is ``(batch, k, m)`` reference
+    matrices (features stored column-wise, as in Fig. 3); ``b`` is the
+    shared ``(k, n)`` query matrix.  Returns ``(batch, m, n)`` products.
+
+    This is the Sec. 5 batching optimization: the whole batch is charged
+    as *one* GEMM call of ``batch`` times the work, which is where the
+    data-reuse efficiency gain comes from.
+    """
+    a_batch = np.asarray(a_batch)
+    if a_batch.ndim != 3:
+        raise ValueError(f"a_batch must be (batch, k, m), got shape {a_batch.shape}")
+    b = _as_2d(b, "b")
+    batch, k, m = a_batch.shape
+    if k != b.shape[0]:
+        raise ValueError(f"inner-dimension mismatch: {a_batch.shape} vs {b.shape}")
+    n = b.shape[1]
+    device.gemm(m, n, k, batch=batch, dtype="fp16", tensor_core=tensor_core, stream=stream, step=step)
+    a16 = a_batch.astype(np.float16)
+    b16 = b.astype(np.float16)
+    # (batch, m, k) @ (k, n) -> (batch, m, n), FP32 accumulate.
+    exact = np.einsum(
+        "bkm,kn->bmn", a16.astype(np.float32), b16.astype(np.float32), optimize=True
+    )
+    if tensor_core:
+        overflow = bool(np.any(np.abs(exact) > FP16_MAX))
+    elif np.all(a16 >= 0) and np.all(b16 >= 0):
+        overflow = bool(np.any(exact > FP16_MAX))
+    else:
+        bound = np.einsum(
+            "bkm,kn->bmn",
+            np.abs(a16).astype(np.float32),
+            np.abs(b16).astype(np.float32),
+            optimize=True,
+        )
+        overflow = bool(np.any(bound > FP16_MAX))
+    result = np.clip(exact, -FP16_MAX, FP16_MAX).astype(np.float16).astype(np.float32)
+    return np.float32(alpha) * result, overflow

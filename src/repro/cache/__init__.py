@@ -1,0 +1,17 @@
+"""Hybrid memory cache substrate: FIFO caches, the two-level GPU+host
+feature cache (Fig. 5), and capacity planning arithmetic."""
+
+from .capacity import CapacityPlan, feature_matrix_bytes, plan_capacity
+from .fifo import Entry, FifoCache
+from .hybrid import CachedBatch, CacheLocation, HybridFeatureCache
+
+__all__ = [
+    "CacheLocation",
+    "CachedBatch",
+    "CapacityPlan",
+    "Entry",
+    "FifoCache",
+    "HybridFeatureCache",
+    "feature_matrix_bytes",
+    "plan_capacity",
+]

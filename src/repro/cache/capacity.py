@@ -1,0 +1,79 @@
+"""Capacity planning calculator.
+
+The paper's "capacity" metric counts cached reference feature matrices.
+This module reproduces its arithmetic: Sec. 6 (85,000 images on a bare
+16 GB GPU at m=768/FP16), Fig. 1's 20x waterfall, and Sec. 8's 10.8 M
+matrices across 14 containers (m=384, FP16, 76 GB hybrid per card).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.kernels import dtype_bytes
+
+__all__ = ["CapacityPlan", "plan_capacity", "feature_matrix_bytes"]
+
+GIB = 1024**3
+
+
+def feature_matrix_bytes(
+    m: int,
+    d: int = 128,
+    precision: str = "fp16",
+    with_norms: bool = False,
+) -> int:
+    """Bytes of one reference matrix (optionally plus its N_R vector)."""
+    if m <= 0 or d <= 0:
+        raise ValueError("m and d must be positive")
+    per = dtype_bytes(precision)
+    total = m * d * per
+    if with_norms:
+        total += m * per
+    return total
+
+
+@dataclass(frozen=True)
+class CapacityPlan:
+    """Result of :func:`plan_capacity`."""
+
+    bytes_per_image: int
+    gpu_cache_bytes: int
+    host_cache_bytes: int
+    gpu_images: int
+    host_images: int
+
+    @property
+    def total_images(self) -> int:
+        return self.gpu_images + self.host_images
+
+    @property
+    def total_cache_bytes(self) -> int:
+        return self.gpu_cache_bytes + self.host_cache_bytes
+
+
+def plan_capacity(
+    m: int = 768,
+    d: int = 128,
+    precision: str = "fp16",
+    with_norms: bool = False,
+    gpu_mem_bytes: int = 16 * GIB,
+    gpu_reserved_bytes: int = 0,
+    host_cache_bytes: int = 0,
+) -> CapacityPlan:
+    """How many reference images a node configuration can cache.
+
+    ``gpu_reserved_bytes`` models the engine's intermediate buffers
+    (Sec. 8 reserves 4 GB of each 16 GB card).
+    """
+    if gpu_reserved_bytes > gpu_mem_bytes:
+        raise ValueError("reserved exceeds GPU memory")
+    per = feature_matrix_bytes(m, d, precision, with_norms)
+    gpu_cache = gpu_mem_bytes - gpu_reserved_bytes
+    return CapacityPlan(
+        bytes_per_image=per,
+        gpu_cache_bytes=gpu_cache,
+        host_cache_bytes=int(host_cache_bytes),
+        gpu_images=gpu_cache // per,
+        host_images=int(host_cache_bytes) // per,
+    )

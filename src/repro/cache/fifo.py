@@ -1,0 +1,96 @@
+"""Generic FIFO cache with byte-budget eviction.
+
+Both levels of the hybrid cache (Sec. 6.1, Fig. 5) behave FIFO: new
+entries enqueue at the tail; when the budget is exceeded the *oldest*
+entry is evicted.  Eviction hands the evicted entry back to the caller
+(the hybrid cache demotes GPU evictions into the host level).
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Generic, Hashable, Iterator, TypeVar
+
+from ..errors import CacheCapacityError
+
+K = TypeVar("K", bound=Hashable)
+V = TypeVar("V")
+
+__all__ = ["FifoCache", "Entry"]
+
+
+@dataclass
+class Entry(Generic[V]):
+    """A cached value and its accounted size."""
+
+    value: V
+    nbytes: int
+
+
+class FifoCache(Generic[K, V]):
+    """Byte-budgeted FIFO cache.
+
+    ``put`` returns the list of evicted ``(key, entry)`` pairs, oldest
+    first.  An entry larger than the whole budget raises
+    :class:`CacheCapacityError`.
+    """
+
+    def __init__(self, capacity_bytes: int, name: str = "cache") -> None:
+        if capacity_bytes < 0:
+            raise ValueError("capacity must be non-negative")
+        self.name = name
+        self.capacity_bytes = int(capacity_bytes)
+        self._entries: "OrderedDict[K, Entry[V]]" = OrderedDict()
+        self._used = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._used
+
+    @property
+    def free_bytes(self) -> int:
+        return self.capacity_bytes - self._used
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: K) -> bool:
+        return key in self._entries
+
+    def get(self, key: K) -> V:
+        """FIFO semantics: a hit does *not* refresh recency."""
+        return self._entries[key].value
+
+    def put(self, key: K, value: V, nbytes: int) -> list[tuple[K, Entry[V]]]:
+        nbytes = int(nbytes)
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        if nbytes > self.capacity_bytes:
+            raise CacheCapacityError(
+                f"{self.name}: entry of {nbytes} B exceeds capacity "
+                f"{self.capacity_bytes} B"
+            )
+        if key in self._entries:
+            old = self._entries.pop(key)
+            self._used -= old.nbytes
+        evicted: list[tuple[K, Entry[V]]] = []
+        while self._used + nbytes > self.capacity_bytes:
+            old_key, old_entry = self._entries.popitem(last=False)
+            self._used -= old_entry.nbytes
+            evicted.append((old_key, old_entry))
+        self._entries[key] = Entry(value, nbytes)
+        self._used += nbytes
+        return evicted
+
+    def pop(self, key: K) -> Entry[V]:
+        entry = self._entries.pop(key)
+        self._used -= entry.nbytes
+        return entry
+
+    def keys(self) -> list[K]:
+        """Keys in FIFO (insertion) order, oldest first."""
+        return list(self._entries.keys())
+
+    def items(self) -> Iterator[tuple[K, Entry[V]]]:
+        return iter(self._entries.items())

@@ -1,0 +1,162 @@
+"""Hybrid GPU + host memory cache (Sec. 6, Fig. 5).
+
+Reference feature batches enqueue into GPU memory first; once the GPU
+budget is full, the *oldest* batch is swapped out to the (much larger)
+host level, still FIFO.  Swap granularity is a whole batch when
+batching is enabled — exactly the paper's design.  Searching iterates
+every batch; host-resident batches must be streamed over PCIe, which is
+what the multi-stream scheduler then overlaps with compute.
+
+The GPU level holds real :class:`~repro.gpusim.memory.MemoryPool`
+allocations so capacity interacts correctly with the engine's other
+buffers; the host level is budget-accounted only (host allocations are
+plain NumPy arrays we already hold).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterator
+
+from ..core.batching import ReferenceBatch
+from ..errors import CacheCapacityError
+from ..gpusim.engine_model import GPUDevice
+from ..gpusim.memory import Allocation
+from .fifo import FifoCache
+
+__all__ = ["CacheLocation", "HybridFeatureCache", "CachedBatch"]
+
+
+class CacheLocation(Enum):
+    GPU = "gpu"
+    HOST = "host"
+
+
+@dataclass
+class CachedBatch:
+    """A reference batch plus where it currently lives."""
+
+    batch: ReferenceBatch
+    location: CacheLocation
+    gpu_allocation: Allocation | None = None
+
+
+class HybridFeatureCache:
+    """Two-level FIFO cache for reference feature batches.
+
+    Parameters
+    ----------
+    device:
+        The GPU whose memory pool backs the first level.
+    gpu_budget_bytes:
+        Bytes of device memory the cache may use (the engine reserves
+        the rest for intermediates).  ``None`` uses everything currently
+        free on the device.
+    host_budget_bytes:
+        Host (pinned) memory budget — 64 GB per container in Sec. 8.
+    pinned:
+        Whether host memory is pinned (affects PCIe speed, Table 5).
+    """
+
+    def __init__(
+        self,
+        device: GPUDevice,
+        gpu_budget_bytes: int | None = None,
+        host_budget_bytes: int = 0,
+        pinned: bool = True,
+    ) -> None:
+        self.device = device
+        if gpu_budget_bytes is None:
+            gpu_budget_bytes = device.memory.free_bytes
+        if gpu_budget_bytes < 0 or host_budget_bytes < 0:
+            raise ValueError("budgets must be non-negative")
+        self.gpu_budget_bytes = int(gpu_budget_bytes)
+        self.host_budget_bytes = int(host_budget_bytes)
+        self.pinned = bool(pinned)
+        self._gpu: FifoCache[int, CachedBatch] = FifoCache(self.gpu_budget_bytes, "gpu-cache")
+        self._host: FifoCache[int, CachedBatch] = FifoCache(self.host_budget_bytes, "host-cache")
+        self._order: list[int] = []  # global FIFO order of batch ids
+
+    # ------------------------------------------------------------------
+    def add(self, batch: ReferenceBatch) -> None:
+        """Enqueue a new batch (GPU first, demoting the oldest on overflow).
+
+        Raises :class:`CacheCapacityError` when the *combined* cache is
+        full — the paper's capacity metric is exactly the point at which
+        this starts happening.
+        """
+        nbytes = batch.nbytes
+        if nbytes > self.gpu_budget_bytes:
+            raise CacheCapacityError(
+                f"batch of {nbytes} B exceeds the GPU cache budget "
+                f"{self.gpu_budget_bytes} B"
+            )
+        cached = CachedBatch(batch=batch, location=CacheLocation.GPU)
+        cached.gpu_allocation = self._alloc_gpu(nbytes, f"batch{batch.batch_id}")
+        evicted = self._gpu.put(batch.batch_id, cached, nbytes)
+        self._order.append(batch.batch_id)
+        for _key, entry in evicted:
+            self._demote(entry.value)
+
+    def _alloc_gpu(self, nbytes: int, label: str) -> Allocation:
+        # Free device memory can be below our budget if other engine
+        # buffers grew; evict eagerly until the allocation fits.
+        while not self.device.memory.fits(nbytes) and len(self._gpu):
+            oldest = self._gpu.keys()[0]
+            self._demote(self._gpu.pop(oldest).value)
+        return self.device.alloc(nbytes, label)
+
+    def _demote(self, cached: CachedBatch) -> None:
+        """Swap a GPU-resident batch out to the host level."""
+        if cached.gpu_allocation is not None:
+            self.device.free(cached.gpu_allocation)
+            cached.gpu_allocation = None
+        cached.location = CacheLocation.HOST
+        if self.host_budget_bytes <= 0:
+            raise CacheCapacityError(
+                "GPU cache full and no host cache configured "
+                f"(batch {cached.batch.batch_id} has nowhere to go)"
+            )
+        evicted = self._host.put(cached.batch.batch_id, cached, cached.batch.nbytes)
+        if evicted:
+            dropped = ", ".join(str(k) for k, _ in evicted)
+            raise CacheCapacityError(
+                f"hybrid cache exhausted: host level evicted batch(es) {dropped}"
+            )
+
+    # ------------------------------------------------------------------
+    def batches(self) -> Iterator[CachedBatch]:
+        """All cached batches in global FIFO order."""
+        for batch_id in self._order:
+            if batch_id in self._gpu:
+                yield self._gpu.get(batch_id)
+            elif batch_id in self._host:
+                yield self._host.get(batch_id)
+
+    def __len__(self) -> int:
+        return len(self._gpu) + len(self._host)
+
+    @property
+    def gpu_batches(self) -> int:
+        return len(self._gpu)
+
+    @property
+    def host_batches(self) -> int:
+        return len(self._host)
+
+    @property
+    def total_images(self) -> int:
+        return sum(c.batch.size for c in self.batches())
+
+    @property
+    def used_bytes(self) -> tuple[int, int]:
+        """(gpu_bytes, host_bytes) currently used."""
+        return self._gpu.used_bytes, self._host.used_bytes
+
+    def capacity_images(self, bytes_per_image: int) -> int:
+        """How many images the combined budgets could hold (the paper's
+        "capacity" metric)."""
+        if bytes_per_image <= 0:
+            raise ValueError("bytes_per_image must be positive")
+        return (self.gpu_budget_bytes + self.host_budget_bytes) // bytes_per_image

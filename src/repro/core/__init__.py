@@ -1,0 +1,52 @@
+"""The paper's primary contribution: the optimized 2-NN texture search
+engine (Algorithms 1 & 2, batching, asymmetric extraction, ratio test)."""
+
+from .algorithm1 import PreparedFeatures, knn_algorithm1, prepare_query, prepare_reference
+from .algorithm2 import BatchKnnResult, knn_algorithm2
+from .asymmetric import AsymmetricExtractor, AsymmetricPolicy
+from .batching import BatchBuilder, ReferenceBatch
+from .config import DEFAULT_SCALE_FACTOR, EngineConfig
+from .engine import EngineStats, TextureSearchEngine
+from .identification import IdentificationDecision, IdentificationPipeline
+from .query_batching import (
+    MultiQueryResult,
+    QueryBatchPoint,
+    knn_algorithm2_multiquery,
+    query_batch_tradeoff,
+)
+from .ratio_test import good_match_count, match_images, ratio_test_mask, verify_pair
+from .results import ImageMatch, KnnResult, SearchResult
+from .topk import functional_topk, insertion_topk, top2_scan
+
+__all__ = [
+    "AsymmetricExtractor",
+    "AsymmetricPolicy",
+    "BatchBuilder",
+    "BatchKnnResult",
+    "DEFAULT_SCALE_FACTOR",
+    "EngineConfig",
+    "EngineStats",
+    "IdentificationDecision",
+    "IdentificationPipeline",
+    "ImageMatch",
+    "KnnResult",
+    "MultiQueryResult",
+    "PreparedFeatures",
+    "QueryBatchPoint",
+    "ReferenceBatch",
+    "SearchResult",
+    "TextureSearchEngine",
+    "functional_topk",
+    "good_match_count",
+    "insertion_topk",
+    "knn_algorithm1",
+    "knn_algorithm2",
+    "knn_algorithm2_multiquery",
+    "match_images",
+    "query_batch_tradeoff",
+    "prepare_query",
+    "prepare_reference",
+    "ratio_test_mask",
+    "top2_scan",
+    "verify_pair",
+]

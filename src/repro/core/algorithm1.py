@@ -1,0 +1,185 @@
+"""Algorithm 1: cuBLAS implementation of k-nearest neighbours.
+
+Reproduces the paper's Algorithm 1 faithfully, step by step::
+
+    1. N_R  = squared norms of R            (offline for references)
+    2. N_Q  = squared norms of Q            (once per query)
+    3. A    = -2 R^T Q                      (GEMM)
+    4. A   += N_R (row-broadcast, in place)
+    5. top-k of each column of A            (scan or insertion sort)
+    6. add N_Q[j] to the first k rows of column j
+    7. sqrt of the first k rows             (merged with 6)
+    8. move the k x n sub-matrix + indices to the host
+
+Step 5 runs *before* N_Q is added — adding a per-column constant does
+not change that column's ordering, so only ``k x n`` elements need the
+final adjustment.  The FP16 path stores features pre-scaled by the
+configured scale factor; squared quantities are scaled by ``s^2`` and
+distances divided by ``s`` at step 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..blas.gemm import hgemm, sgemm
+from ..blas.norms import squared_norms, squared_norms_fp16
+from ..errors import HalfPrecisionOverflowError
+from ..fp16.convert import FP16_MAX, to_scaled_fp16
+from ..gpusim.engine_model import GPUDevice
+from ..gpusim.stream import Stream
+from .results import KnnResult
+from .topk import functional_topk
+
+__all__ = ["PreparedFeatures", "prepare_reference", "prepare_query", "knn_algorithm1"]
+
+
+@dataclass
+class PreparedFeatures:
+    """Feature matrix in engine precision plus its squared-norm vector.
+
+    ``values`` is ``(d, count)``; FP16 values are pre-scaled.  ``norms``
+    holds the squared norms of the *stored* values (i.e. already in the
+    ``s^2``-scaled domain for FP16), as the paper keeps ``N_R`` cached
+    next to each reference matrix (Sec. 4.1).
+    """
+
+    values: np.ndarray
+    norms: np.ndarray
+    precision: str
+    scale: float
+
+    @property
+    def count(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def d(self) -> int:
+        return self.values.shape[0]
+
+    @property
+    def nbytes(self) -> int:
+        return self.values.nbytes + self.norms.nbytes
+
+
+def _prepare(
+    features: np.ndarray,
+    precision: str,
+    scale: float,
+    device: Optional[GPUDevice],
+    stream: Optional[Stream],
+    charge: bool,
+) -> PreparedFeatures:
+    features = np.asarray(features, dtype=np.float32)
+    if features.ndim != 2:
+        raise ValueError(f"features must be (d, count), got {features.shape}")
+    if precision == "fp16":
+        stored = to_scaled_fp16(features, scale)
+        if charge and device is not None:
+            norms, overflow = squared_norms_fp16(device, stored.values, stream=stream)
+        else:
+            v = stored.values.astype(np.float32)
+            norms = np.einsum("dc,dc->c", v, v)
+            overflow = bool(np.any(norms > FP16_MAX))
+            norms = np.clip(norms, 0, FP16_MAX).astype(np.float16).astype(np.float32)
+        if overflow:
+            raise HalfPrecisionOverflowError(scale, float(norms.max()))
+        return PreparedFeatures(stored.values, norms, "fp16", scale)
+    if precision == "fp32":
+        if charge and device is not None:
+            norms = squared_norms(device, features, stream=stream)
+        else:
+            norms = np.einsum("dc,dc->c", features, features)
+        return PreparedFeatures(features, norms.astype(np.float32), "fp32", 1.0)
+    raise ValueError(f"precision must be 'fp16' or 'fp32', got {precision!r}")
+
+
+def prepare_reference(
+    features: np.ndarray,
+    precision: str = "fp16",
+    scale: float = 1.0,
+) -> PreparedFeatures:
+    """Offline reference preparation (steps 1 of Algorithm 1).
+
+    Never charged to the device: the paper computes all reference
+    matrices and their ``N_R`` vectors ahead of time (Sec. 4.1).
+    """
+    return _prepare(features, precision, scale, device=None, stream=None, charge=False)
+
+
+def prepare_query(
+    device: GPUDevice,
+    features: np.ndarray,
+    precision: str = "fp16",
+    scale: float = 1.0,
+    stream: Optional[Stream] = None,
+) -> PreparedFeatures:
+    """Query preparation: features move to the GPU and ``N_Q`` is
+    computed there (step 2); both are charged."""
+    features = np.asarray(features, dtype=np.float32)
+    elem = 2 if precision == "fp16" else 4
+    device.h2d(features.shape[0] * features.shape[1] * elem, stream=stream, step="query H2D")
+    return _prepare(features, precision, scale, device=device, stream=stream, charge=True)
+
+
+def knn_algorithm1(
+    device: GPUDevice,
+    reference: PreparedFeatures,
+    query: PreparedFeatures,
+    k: int = 2,
+    sort_kind: str = "scan",
+    stream: Optional[Stream] = None,
+) -> KnnResult:
+    """Run steps 3-8 of Algorithm 1 for one reference image.
+
+    Returns a :class:`KnnResult` with *unscaled* Euclidean distances.
+    """
+    if reference.precision != query.precision:
+        raise ValueError("reference/query precision mismatch")
+    if reference.d != query.d:
+        raise ValueError(f"dimension mismatch: {reference.d} vs {query.d}")
+    if reference.precision == "fp16" and reference.scale != query.scale:
+        raise ValueError("reference/query scale mismatch")
+    m, n = reference.count, query.count
+    if not (1 <= k <= m):
+        raise ValueError(f"k={k} out of range for m={m}")
+    dtype = reference.precision
+
+    # Step 3: A = -2 R^T Q.
+    if dtype == "fp16":
+        a, overflow = hgemm(device, reference.values, query.values, alpha=1.0,
+                            transpose_a=True, stream=stream)
+        if overflow:
+            raise HalfPrecisionOverflowError(reference.scale, float(np.abs(a).max()))
+        a = -2.0 * a
+    else:
+        a = sgemm(device, reference.values, query.values, alpha=-2.0,
+                  transpose_a=True, stream=stream)
+
+    # Step 4: in-place row broadcast of N_R.
+    device.elementwise(m * n, dtype=dtype, stream=stream, step="add N_R")
+    a += reference.norms[:, None]
+
+    # Step 5: column-parallel top-k.
+    if sort_kind == "scan":
+        device.top2_scan(m, n, dtype=dtype, stream=stream, step="Top-2 sort")
+    elif sort_kind == "insertion":
+        device.insertion_sort(m, n, dtype=dtype, stream=stream, step="Top-2 sort")
+    else:
+        raise ValueError(f"sort_kind must be 'scan' or 'insertion', got {sort_kind!r}")
+    top_vals, top_idx = functional_topk(a, k)
+
+    # Steps 6-7 (merged kernel): add N_Q to the k winners, sqrt.
+    device.elementwise(k * n, dtype=dtype, stream=stream, step="add N_Q + sqrt")
+    sq = top_vals + query.norms[None, :]
+    np.maximum(sq, 0.0, out=sq)
+    distances = np.sqrt(sq, dtype=np.float32)
+    if dtype == "fp16":
+        distances /= np.float32(reference.scale)
+
+    # Step 8: ship the k x n result (+ indices) to the host.
+    device.d2h_result(n, batch=1, k=k, dtype=dtype, stream=stream)
+    return KnnResult(distances=distances, indices=top_idx.astype(np.int32))

@@ -1,0 +1,533 @@
+"""The texture search engine — the paper's contributions, composed.
+
+:class:`TextureSearchEngine` owns one simulated GPU, a hybrid feature
+cache and an engine configuration, and exposes the paper's two tasks:
+
+* :meth:`verify` — one-to-one verification of a (reference, query) pair;
+* :meth:`search` — one-to-many search of a query against every cached
+  reference image, batch by batch.
+
+Every optimization is a config knob (precision, RootSIFT, batch size,
+sort kind, streams, asymmetric m/n), so the benchmark harness can
+reproduce each table by toggling exactly one of them.
+
+Timing: with a single stream the engine's event-driven device model is
+exact (all stages serialise in-stream, as in Tables 1/3/5).  With
+multiple streams the overlap is computed by the Table-6 steady-state
+scheduler model, because real stream concurrency is a property the
+serial NumPy execution cannot exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..cache.hybrid import CacheLocation, HybridFeatureCache
+from ..features.rootsift import l2_normalize, rootsift
+from ..features.selection import pad_or_trim
+from ..fp16.convert import to_scaled_fp16
+from ..gpusim.device import TESLA_P100
+from ..gpusim.engine_model import GPUDevice
+from ..pipeline.scheduler import plan_streams
+from .algorithm1 import knn_algorithm1, prepare_query, prepare_reference
+from .algorithm2 import knn_algorithm2
+from .batching import BatchBuilder, ReferenceBatch
+from .config import EngineConfig
+from .ratio_test import match_images, verify_pair
+from .results import ImageMatch, SearchResult
+
+__all__ = ["TextureSearchEngine", "EngineStats"]
+
+#: prefix of tombstoned slot ids (never collides with user ids, which
+#: the REST layer validates).
+_DEAD_PREFIX = "\x00dead:"
+
+
+@dataclass
+class EngineStats:
+    """Aggregate simulated statistics for one engine."""
+
+    references: int = 0
+    searches: int = 0
+    images_compared: int = 0
+    total_search_us: float = 0.0
+    step_times_us: dict = field(default_factory=dict)
+
+    @property
+    def mean_throughput_images_per_s(self) -> float:
+        if self.total_search_us <= 0:
+            return 0.0
+        return self.images_compared / (self.total_search_us * 1e-6)
+
+
+class TextureSearchEngine:
+    """One-GPU texture identification engine.
+
+    Parameters
+    ----------
+    config:
+        Optimization knobs; see :class:`EngineConfig`.
+    device:
+        Simulated GPU (defaults to a fresh Tesla P100).
+    host_cache_bytes:
+        Second-level (host) cache budget; 0 disables the hybrid cache
+        and the engine holds references in GPU memory only.
+    gpu_cache_bytes:
+        First-level budget; defaults to all free device memory.
+    pinned:
+        Host cache memory is pinned (Table 5).
+    """
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        device: GPUDevice | None = None,
+        host_cache_bytes: int = 0,
+        gpu_cache_bytes: int | None = None,
+        pinned: bool = True,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.device = device or GPUDevice(TESLA_P100)
+        self.cache = HybridFeatureCache(
+            self.device,
+            gpu_budget_bytes=gpu_cache_bytes,
+            host_budget_bytes=host_cache_bytes,
+            pinned=pinned,
+        )
+        cfg = self.config
+        self._builder = BatchBuilder(
+            batch_size=cfg.batch_size,
+            d=cfg.d,
+            m=cfg.m,
+            keep_norms=not cfg.use_rootsift,
+        )
+        self.stats = EngineStats()
+        #: live id -> (ReferenceBatch | None, slot index); ``None`` means
+        #: the slot is still in the builder's pending batch.  Deleting or
+        #: updating a reference renames its slot to a dead marker —
+        #: batches are immutable, so the slot is still *compared* (honest
+        #: cost) but its matches are dropped from results.
+        self._locations: dict[str, tuple[ReferenceBatch | None, int]] = {}
+        self._dead_slots = 0
+
+    # ------------------------------------------------------------------
+    # enrolment
+    # ------------------------------------------------------------------
+    def _to_engine_precision(self, matrix: np.ndarray) -> np.ndarray:
+        if self.config.precision == "fp16":
+            return to_scaled_fp16(matrix, self.config.scale_factor).values
+        return np.asarray(matrix, dtype=np.float32)
+
+    def prepare_reference_matrix(self, descriptors: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
+        """Shape/normalise/quantise one reference descriptor matrix.
+
+        Input is ``(d, count)`` FP32, response-ranked (the extractor's
+        output order); output is the cached representation:
+        RootSIFT-transformed if configured, trimmed/zero-padded to
+        ``m``, converted to engine precision, with ``N_R`` norms when
+        Algorithm 1 needs them.
+        """
+        cfg = self.config
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        if descriptors.ndim != 2 or descriptors.shape[0] != cfg.d:
+            raise ValueError(
+                f"descriptors must be ({cfg.d}, count), got {descriptors.shape}"
+            )
+        if cfg.use_rootsift:
+            matrix = pad_or_trim(self._unit_normalize(descriptors), cfg.m)
+            return self._to_engine_precision(matrix), None
+        matrix = pad_or_trim(descriptors, cfg.m)
+        prepared = prepare_reference(matrix, cfg.precision, cfg.effective_scale)
+        return prepared.values, prepared.norms
+
+    def add_reference(self, ref_id: str, descriptors: np.ndarray) -> None:
+        """Enrol one reference image's descriptors into the cache.
+
+        Re-adding an existing id is an *update*: the old slot is
+        tombstoned and the new matrix appended.
+        """
+        ref_id = str(ref_id)
+        if ref_id in self._locations:
+            self.remove_reference(ref_id)
+        matrix, norms = self.prepare_reference_matrix(descriptors)
+        self._locations[ref_id] = (None, self._builder.pending)
+        flushed = self._builder.add(ref_id, matrix, norms)
+        if flushed is not None:
+            self._seal(flushed)
+        self.stats.references += 1
+
+    def _seal(self, batch: ReferenceBatch) -> None:
+        """Install a completed batch and repoint its slots' locations."""
+        self.cache.add(batch)
+        for idx, slot_id in enumerate(batch.ids):
+            if slot_id in self._locations:
+                self._locations[slot_id] = (batch, idx)
+
+    def add_prepared_reference(
+        self,
+        ref_id: str,
+        matrix: np.ndarray,
+        norms: np.ndarray | None = None,
+    ) -> None:
+        """Enrol an *already prepared* matrix (engine precision/scale,
+        RootSIFT applied, padded to ``(d, m)``).
+
+        This is the warm-restart path: :meth:`export_records` emits
+        stored-domain matrices, and re-applying the preprocessing to
+        them would corrupt them (RootSIFT is not idempotent).
+        """
+        cfg = self.config
+        ref_id = str(ref_id)
+        matrix = np.asarray(matrix)
+        if matrix.shape != (cfg.d, cfg.m):
+            raise ValueError(f"prepared matrix must be ({cfg.d}, {cfg.m}), got {matrix.shape}")
+        expected = np.float16 if cfg.precision == "fp16" else np.float32
+        if matrix.dtype != expected:
+            raise ValueError(f"prepared matrix must be {expected}, got {matrix.dtype}")
+        if not cfg.use_rootsift and norms is None:
+            raise ValueError("Algorithm-1 engines require the N_R vector")
+        if ref_id in self._locations:
+            self.remove_reference(ref_id)
+        self._locations[ref_id] = (None, self._builder.pending)
+        flushed = self._builder.add(ref_id, matrix, norms)
+        if flushed is not None:
+            self._seal(flushed)
+        self.stats.references += 1
+
+    def export_records(self):
+        """Serialize every live reference's *stored* matrix.
+
+        Returns a list of :class:`~repro.distributed.FeatureRecord` in
+        enrolment-compatible form: feed them to
+        :meth:`import_records` on an engine with the same configuration
+        to rebuild the cache (e.g. after a container restart).
+        """
+        from ..distributed.serialization import FeatureRecord
+
+        records = []
+        for ref_id, (batch, slot) in self._locations.items():
+            if batch is None:
+                matrix = self._builder.pending_matrix(slot)
+            else:
+                matrix = batch.tensor[slot]
+            records.append(
+                FeatureRecord(
+                    ref_id=ref_id,
+                    matrix=np.asarray(matrix),
+                    precision=self.config.precision,
+                    scale=self.config.effective_scale,
+                )
+            )
+        return records
+
+    def import_records(self, records) -> int:
+        """Re-enrol :meth:`export_records` output; returns the count.
+
+        Records must match this engine's precision and scale — a
+        mismatch means they were exported under a different
+        configuration and would silently corrupt distances.
+        """
+        cfg = self.config
+        count = 0
+        for record in records:
+            if record.precision != cfg.precision:
+                raise ValueError(
+                    f"record {record.ref_id!r} is {record.precision}, "
+                    f"engine is {cfg.precision}"
+                )
+            if abs(record.scale - cfg.effective_scale) > 1e-12:
+                raise ValueError(
+                    f"record {record.ref_id!r} has scale {record.scale}, "
+                    f"engine uses {cfg.effective_scale}"
+                )
+            norms = None
+            if not cfg.use_rootsift:
+                v = record.matrix.astype(np.float32)
+                norms = np.einsum("dc,dc->c", v, v)
+                if cfg.precision == "fp16":
+                    # match prepare_reference's FP16-stored N_R exactly
+                    norms = np.clip(norms, 0, 65504).astype(np.float16)
+                norms = norms.astype(np.float32)
+            self.add_prepared_reference(record.ref_id, record.matrix, norms)
+            count += 1
+        return count
+
+    def remove_reference(self, ref_id: str) -> bool:
+        """Tombstone a reference; returns whether it was enrolled."""
+        ref_id = str(ref_id)
+        location = self._locations.pop(ref_id, None)
+        if location is None:
+            return False
+        batch, slot = location
+        marker = f"{_DEAD_PREFIX}{self._dead_slots}"
+        self._dead_slots += 1
+        if batch is None:
+            self._builder.rename(slot, marker)
+        else:
+            batch.ids[slot] = marker
+        return True
+
+    def has_reference(self, ref_id: str) -> bool:
+        return str(ref_id) in self._locations
+
+    def flush(self) -> None:
+        """Seal the in-progress (partial) batch so it becomes searchable."""
+        flushed = self._builder.flush()
+        if flushed is not None:
+            self._seal(flushed)
+
+    @property
+    def n_references(self) -> int:
+        """Live (non-tombstoned) enrolled references."""
+        return len(self._locations)
+
+    def capacity_images(self) -> int:
+        """The paper's capacity metric for this engine's configuration."""
+        return self.cache.capacity_images(self.config.feature_matrix_bytes())
+
+    # ------------------------------------------------------------------
+    # query preparation
+    # ------------------------------------------------------------------
+    def prepare_query_matrix(self, descriptors: np.ndarray) -> np.ndarray:
+        """Shape/normalise/quantise one query descriptor matrix to
+        ``(d, n)`` engine precision."""
+        cfg = self.config
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        if descriptors.ndim != 2 or descriptors.shape[0] != cfg.d:
+            raise ValueError(
+                f"descriptors must be ({cfg.d}, count), got {descriptors.shape}"
+            )
+        if cfg.use_rootsift:
+            descriptors = self._unit_normalize(descriptors)
+        matrix = pad_or_trim(descriptors, cfg.n)
+        return self._to_engine_precision(matrix)
+
+    def _unit_normalize(self, descriptors: np.ndarray) -> np.ndarray:
+        """Unit-norm mapping for the Algorithm-2 path (config-selected)."""
+        if not descriptors.size:
+            return descriptors
+        if self.config.normalization == "rootsift":
+            return rootsift(descriptors)
+        return l2_normalize(descriptors)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def _match_batch(
+        self,
+        batch: ReferenceBatch,
+        query_matrix: np.ndarray,
+        keep_masks: bool,
+    ) -> list[ImageMatch]:
+        cfg = self.config
+        if cfg.use_rootsift:
+            result = knn_algorithm2(
+                self.device,
+                batch.tensor,
+                query_matrix,
+                scale=cfg.effective_scale,
+                k=cfg.k,
+                precision=cfg.precision,
+                tensor_core=cfg.tensor_core,
+            )
+            self.device.cpu_postprocess(batch.size, cfg.precision, cfg.n)
+            return [
+                match_images(batch.ids[i], result.image(i), cfg.ratio_threshold, keep_masks)
+                for i in range(batch.size)
+            ]
+        # Algorithm 1: per-image loop (the paper batches only the
+        # RootSIFT pipeline).
+        matches = []
+        for i in range(batch.size):
+            ref = _PreparedView(batch.tensor[i], batch.norms[i], cfg.precision, cfg.effective_scale)
+            knn = knn_algorithm1(self.device, ref, self._prepared_query, k=cfg.k,
+                                 sort_kind=cfg.sort_kind)
+            self.device.cpu_postprocess(1, cfg.precision, cfg.n)
+            matches.append(match_images(batch.ids[i], knn, cfg.ratio_threshold, keep_masks))
+        return matches
+
+    def search(self, query_descriptors: np.ndarray, keep_masks: bool = False) -> SearchResult:
+        """One-to-many search over every cached reference image."""
+        cfg = self.config
+        self.flush()
+        query_matrix = self.prepare_query_matrix(query_descriptors)
+        if not cfg.use_rootsift:
+            self._prepared_query = prepare_query(
+                self.device, pad_or_trim(np.asarray(query_descriptors, dtype=np.float32), cfg.n),
+                cfg.precision, cfg.effective_scale,
+            )
+        start_us = self.device.synchronize()
+        all_matches: list[ImageMatch] = []
+        images = 0
+        host_images = 0
+        for cached in self.cache.batches():
+            batch = cached.batch
+            if cached.location is CacheLocation.HOST:
+                self.device.h2d(batch.nbytes, pinned=self.cache.pinned)
+                host_images += batch.size
+            matches = self._match_batch(batch, query_matrix, keep_masks)
+            if self._dead_slots:
+                matches = [m for m in matches if not m.reference_id.startswith(_DEAD_PREFIX)]
+            all_matches.extend(matches)
+            images += batch.size
+        elapsed = self.device.synchronize() - start_us
+
+        if cfg.streams > 1 and host_images:
+            # Replace the serial estimate for the host-resident part by
+            # the multi-stream overlap model (Sec. 6.2).
+            plan = plan_streams(
+                self.device.spec, self.device.cal, cfg.streams, cfg.batch_size,
+                m=cfg.m, n=cfg.n, d=cfg.d, precision=cfg.precision,
+                tensor_core=cfg.tensor_core, pinned=self.cache.pinned,
+                with_norms=not cfg.use_rootsift,
+            )
+            gpu_images = images - host_images
+            gpu_fraction = gpu_images / images if images else 0.0
+            elapsed = elapsed * gpu_fraction + host_images / plan.throughput_images_per_s * 1e6
+
+        self.stats.searches += 1
+        self.stats.images_compared += images
+        self.stats.total_search_us += elapsed
+        for name, total in self.device.profiler.as_dict().items():
+            self.stats.step_times_us[name] = self.stats.step_times_us.get(name, 0.0) + total
+        return SearchResult(matches=all_matches, elapsed_us=elapsed, images_searched=images)
+
+    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
+        """Query-batched one-to-many search (Sec. 5.3 extension).
+
+        All queries are answered in one sweep over the cache with fused
+        GEMMs — higher throughput, but every query's ``elapsed_us`` is
+        the whole group's completion time (the latency cost the paper
+        warns about).  Requires the RootSIFT (Algorithm 2) pipeline.
+        """
+        cfg = self.config
+        if not cfg.use_rootsift:
+            raise ValueError("search_many requires the RootSIFT (Algorithm 2) pipeline")
+        if not query_descriptor_list:
+            return []
+        from .query_batching import knn_algorithm2_multiquery
+
+        self.flush()
+        queries = np.stack(
+            [self.prepare_query_matrix(q) for q in query_descriptor_list]
+        )
+        n_queries = queries.shape[0]
+        start_us = self.device.synchronize()
+        per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
+        images = 0
+        for cached in self.cache.batches():
+            batch = cached.batch
+            if cached.location is CacheLocation.HOST:
+                self.device.h2d(batch.nbytes, pinned=self.cache.pinned)
+            result = knn_algorithm2_multiquery(
+                self.device, batch.tensor, queries,
+                scale=cfg.effective_scale, k=cfg.k,
+                precision=cfg.precision, tensor_core=cfg.tensor_core,
+            )
+            self.device.cpu_postprocess(batch.size * n_queries, cfg.precision, cfg.n)
+            for q in range(n_queries):
+                view = result.query(q)
+                matches = [
+                    match_images(batch.ids[i], view.image(i), cfg.ratio_threshold)
+                    for i in range(batch.size)
+                ]
+                if self._dead_slots:
+                    matches = [m for m in matches if not m.reference_id.startswith(_DEAD_PREFIX)]
+                per_query_matches[q].extend(matches)
+            images += batch.size
+        elapsed = self.device.synchronize() - start_us
+        self.stats.searches += n_queries
+        self.stats.images_compared += images * n_queries
+        self.stats.total_search_us += elapsed
+        return [
+            SearchResult(matches=per_query_matches[q], elapsed_us=elapsed,
+                         images_searched=images)
+            for q in range(n_queries)
+        ]
+
+    # ------------------------------------------------------------------
+    # verification
+    # ------------------------------------------------------------------
+    def verify(
+        self,
+        reference_descriptors: np.ndarray,
+        query_descriptors: np.ndarray,
+    ) -> tuple[bool, int]:
+        """One-to-one verification: ``(same_texture, good_matches)``."""
+        cfg = self.config
+        ref_matrix, norms = self.prepare_reference_matrix(reference_descriptors)
+        query_matrix = self.prepare_query_matrix(query_descriptors)
+        if cfg.use_rootsift:
+            result = knn_algorithm2(
+                self.device, ref_matrix[None, ...], query_matrix,
+                scale=cfg.effective_scale, k=cfg.k, precision=cfg.precision,
+                tensor_core=cfg.tensor_core,
+            )
+            knn = result.image(0)
+        else:
+            ref = _PreparedView(ref_matrix, norms, cfg.precision, cfg.effective_scale)
+            query = prepare_query(self.device, pad_or_trim(
+                np.asarray(query_descriptors, dtype=np.float32), cfg.n),
+                cfg.precision, cfg.effective_scale)
+            knn = knn_algorithm1(self.device, ref, query, k=cfg.k, sort_kind=cfg.sort_kind)
+        self.device.cpu_postprocess(1, cfg.precision, cfg.n)
+        return verify_pair(knn, cfg.ratio_threshold, cfg.min_matches)
+
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def profile_report(self) -> str:
+        """Per-step simulated-time breakdown of this engine's work so
+        far, formatted like the paper's Table 1/3 rows.
+
+        Covers every search/verify since construction (or the last
+        :meth:`reset_profile`); per-image means use the number of image
+        comparisons performed.
+        """
+        from ..bench.tables import format_table
+
+        images = max(self.stats.images_compared, 1)
+        rows = []
+        total = 0.0
+        for record in self.device.profiler.records():
+            rows.append(
+                [record.name, round(record.total_us, 1),
+                 round(record.total_us / images, 3), record.calls]
+            )
+            total += record.total_us
+        rows.append(["TOTAL", round(total, 1), round(total / images, 3), ""])
+        norm = (
+            f" + {self.config.normalization}" if self.config.use_rootsift else " (Alg. 1)"
+        )
+        header = (
+            f"{self.device.spec.name} | {self.config.precision}{norm}"
+            f" | m={self.config.m} n={self.config.n} batch={self.config.batch_size}"
+        )
+        return format_table(
+            ["step", "total (us)", "us/image", "calls"], rows, title=header
+        )
+
+    def reset_profile(self) -> None:
+        """Clear the step profiler and simulated clock (stats survive)."""
+        self.device.reset_timing()
+
+
+class _PreparedView:
+    """Adapter presenting a cached (matrix, norms) pair to Algorithm 1."""
+
+    def __init__(self, values: np.ndarray, norms: np.ndarray, precision: str, scale: float) -> None:
+        self.values = values
+        self.norms = norms
+        self.precision = precision
+        self.scale = scale
+
+    @property
+    def count(self) -> int:
+        return self.values.shape[1]
+
+    @property
+    def d(self) -> int:
+        return self.values.shape[0]

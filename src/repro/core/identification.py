@@ -1,0 +1,198 @@
+"""The complete identification pipeline of Fig. 2.
+
+:class:`TextureSearchEngine` matches descriptor matrices; this module
+wraps it with the stages the figure shows around it — local feature
+extraction and geometric verification — into a single object a
+traceability application uses directly::
+
+    pipeline = IdentificationPipeline()
+    pipeline.enroll("brick-1", factory_photo)
+    decision = pipeline.identify(customer_photo)
+    if decision.accepted:
+        print(decision.reference_id, decision.inliers)
+
+Geometric verification re-ranks the top candidates by RANSAC inlier
+count over the matched keypoint pairs (the engine stores enrolled
+keypoints for exactly this purpose) and the final decision requires
+both a ratio-test match count and an inlier threshold.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..features.keypoints import Keypoint
+from ..fp16.error import pairwise_distances
+from ..geometry.ransac import ransac_verify
+from ..gpusim.engine_model import GPUDevice
+from .asymmetric import AsymmetricExtractor, AsymmetricPolicy
+from .config import EngineConfig
+from .engine import TextureSearchEngine
+from .ratio_test import ratio_test_mask
+
+__all__ = ["IdentificationDecision", "IdentificationPipeline"]
+
+
+@dataclass
+class IdentificationDecision:
+    """Outcome of one identification request."""
+
+    accepted: bool
+    reference_id: str | None
+    good_matches: int
+    inliers: int
+    candidates_checked: int
+    elapsed_us: float
+    reason: str = ""
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.accepted
+
+
+@dataclass
+class _EnrolledImage:
+    descriptors: np.ndarray  # raw (pre-normalisation) descriptors, (d, count)
+    keypoints: list[Keypoint] = field(default_factory=list)
+
+
+class IdentificationPipeline:
+    """Image in, traceability decision out (Fig. 2 end to end)."""
+
+    def __init__(
+        self,
+        config: EngineConfig | None = None,
+        extractor: AsymmetricExtractor | None = None,
+        device: GPUDevice | None = None,
+        min_inliers: int = 6,
+        verify_top: int = 3,
+        host_cache_bytes: int = 0,
+    ) -> None:
+        self.config = config or EngineConfig(m=384, n=768, scale_factor=0.25)
+        self.extractor = extractor or AsymmetricExtractor(
+            AsymmetricPolicy(m_reference=self.config.m, n_query=self.config.n),
+            use_rootsift=False,  # the engine applies its own normalisation
+        )
+        self.engine = TextureSearchEngine(
+            self.config, device=device, host_cache_bytes=host_cache_bytes
+        )
+        if min_inliers < 2:
+            raise ValueError("min_inliers must be >= 2")
+        if verify_top < 1:
+            raise ValueError("verify_top must be >= 1")
+        self.min_inliers = int(min_inliers)
+        self.verify_top = int(verify_top)
+        self._enrolled: dict[str, _EnrolledImage] = {}
+
+    # ------------------------------------------------------------------
+    def enroll(self, ref_id: str, image: np.ndarray) -> int:
+        """Extract reference features from a factory photo and enrol
+        them; returns the number of (real) features extracted."""
+        ref_id = str(ref_id)
+        result = self.extractor.extract_with_keypoints(image, budget=self.config.m)
+        self.engine.add_reference(ref_id, result.descriptors)
+        self._enrolled[ref_id] = _EnrolledImage(
+            descriptors=result.descriptors, keypoints=result.keypoints
+        )
+        return result.count
+
+    def remove(self, ref_id: str) -> bool:
+        self._enrolled.pop(str(ref_id), None)
+        return self.engine.remove_reference(ref_id)
+
+    @property
+    def n_references(self) -> int:
+        return self.engine.n_references
+
+    # ------------------------------------------------------------------
+    def _geometric_inliers(
+        self,
+        reference: _EnrolledImage,
+        query_descriptors: np.ndarray,
+        query_keypoints: list[Keypoint],
+    ) -> int:
+        """RANSAC inlier count between one candidate and the query."""
+        if not reference.keypoints or not query_keypoints:
+            return 0
+        dist = pairwise_distances(reference.descriptors, query_descriptors)
+        if dist.shape[0] < 2:
+            return 0
+        top2 = np.sort(dist, axis=0)[:2]
+        nn = np.argmin(dist, axis=0)
+        mask = ratio_test_mask(top2, self.config.ratio_threshold)
+        matched = np.flatnonzero(mask)
+        if len(matched) < 3:
+            return 0
+        src = np.array([[reference.keypoints[nn[j]].x, reference.keypoints[nn[j]].y]
+                        for j in matched])
+        dst = np.array([[query_keypoints[j].x, query_keypoints[j].y] for j in matched])
+        return ransac_verify(src, dst, "similarity", threshold=4.0).inliers
+
+    def identify(self, image: np.ndarray) -> IdentificationDecision:
+        """One-to-many identification with geometric confirmation."""
+        query = self.extractor.extract_with_keypoints(image, budget=self.config.n)
+        if query.count < self.config.min_matches:
+            return IdentificationDecision(
+                accepted=False, reference_id=None, good_matches=0, inliers=0,
+                candidates_checked=0, elapsed_us=0.0,
+                reason=f"only {query.count} query features extracted",
+            )
+        result = self.engine.search(query.descriptors)
+        candidates = [
+            match for match in result.top(self.verify_top)
+            if match.good_matches >= self.config.min_matches
+        ]
+        best_id, best_inliers, best_matches = None, 0, 0
+        for match in candidates:
+            enrolled = self._enrolled.get(match.reference_id)
+            if enrolled is None:
+                continue
+            inliers = self._geometric_inliers(enrolled, query.descriptors, query.keypoints)
+            if inliers > best_inliers:
+                best_id, best_inliers, best_matches = (
+                    match.reference_id, inliers, match.good_matches
+                )
+        accepted = best_inliers >= self.min_inliers
+        if not candidates:
+            reason = "no candidate cleared the ratio-test threshold"
+        elif not accepted:
+            reason = f"best candidate had only {best_inliers} geometric inliers"
+        else:
+            reason = "ratio test + geometric verification passed"
+        return IdentificationDecision(
+            accepted=accepted,
+            reference_id=best_id if accepted else None,
+            good_matches=best_matches,
+            inliers=best_inliers,
+            candidates_checked=len(candidates),
+            elapsed_us=result.elapsed_us,
+            reason=reason,
+        )
+
+    def verify(self, ref_id: str, image: np.ndarray) -> IdentificationDecision:
+        """One-to-one verification of a claimed identity."""
+        ref_id = str(ref_id)
+        enrolled = self._enrolled.get(ref_id)
+        if enrolled is None:
+            return IdentificationDecision(
+                accepted=False, reference_id=None, good_matches=0, inliers=0,
+                candidates_checked=0, elapsed_us=0.0,
+                reason=f"unknown reference {ref_id!r}",
+            )
+        query = self.extractor.extract_with_keypoints(image, budget=self.config.n)
+        same, count = self.engine.verify(enrolled.descriptors, query.descriptors)
+        inliers = (
+            self._geometric_inliers(enrolled, query.descriptors, query.keypoints)
+            if same else 0
+        )
+        accepted = same and inliers >= self.min_inliers
+        return IdentificationDecision(
+            accepted=accepted,
+            reference_id=ref_id if accepted else None,
+            good_matches=count,
+            inliers=inliers,
+            candidates_checked=1,
+            elapsed_us=0.0,
+            reason="verified" if accepted else "verification failed",
+        )

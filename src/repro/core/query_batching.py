@@ -1,0 +1,206 @@
+"""Query batching (the extension Sec. 5.3 discusses but defers).
+
+"Similar to the batch process for reference feature matrix, the query
+feature matrix can also be batched for higher performance.  However,
+the search latency also increases" — the paper leaves the trade-off to
+the DNN-serving literature.  This module implements it: ``Q_batch``
+query matrices are concatenated column-wise into one ``(d, Q*n)``
+matrix, so a single batched GEMM serves every (reference, query) pair
+and the top-2 scan sees ``batch * Q * n`` columns.
+
+Throughput rises (more data reuse per cached reference batch, more scan
+occupancy); *per-query latency* becomes the whole group's completion
+time.  :func:`query_batch_tradeoff` quantifies both from the calibrated
+models — the ablation the paper hand-waves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..errors import HalfPrecisionOverflowError
+from ..gpusim.calibration import KernelCalibration
+from ..gpusim.device import DeviceSpec
+from ..gpusim.engine_model import GPUDevice
+from ..gpusim.kernels import (
+    d2h_result_us,
+    dtype_bytes,
+    elementwise_us,
+    gemm_us,
+    postprocess_us,
+    top2_scan_us,
+)
+from ..gpusim.stream import Stream
+from .algorithm2 import BatchKnnResult
+from .topk import functional_topk
+
+__all__ = ["MultiQueryResult", "knn_algorithm2_multiquery", "QueryBatchPoint", "query_batch_tradeoff"]
+
+
+@dataclass
+class MultiQueryResult:
+    """Top-k results for every (reference image, query) pair.
+
+    ``distances``/``indices`` have shape ``(batch, n_queries, k, n)``.
+    """
+
+    distances: np.ndarray
+    indices: np.ndarray
+
+    def query(self, q: int) -> BatchKnnResult:
+        """The per-query view, shaped like a single-query Algorithm 2 run."""
+        return BatchKnnResult(
+            distances=np.ascontiguousarray(self.distances[:, q]),
+            indices=np.ascontiguousarray(self.indices[:, q]),
+        )
+
+    @property
+    def n_queries(self) -> int:
+        return self.distances.shape[1]
+
+
+def knn_algorithm2_multiquery(
+    device: GPUDevice,
+    references: np.ndarray,
+    queries: np.ndarray,
+    scale: float = 1.0,
+    k: int = 2,
+    precision: str = "fp16",
+    tensor_core: bool = False,
+    stream: Optional[Stream] = None,
+) -> MultiQueryResult:
+    """Batched-reference x batched-query 2-NN.
+
+    ``references`` is ``(batch, d, m)``; ``queries`` is ``(Q, d, n)``.
+    Functionally equivalent to running Algorithm 2 once per query, but
+    charged as one fused GEMM + one wide scan.
+    """
+    references = np.asarray(references)
+    queries = np.asarray(queries)
+    if references.ndim != 3 or queries.ndim != 3:
+        raise ValueError("references must be (batch, d, m) and queries (Q, d, n)")
+    if references.shape[1] != queries.shape[1]:
+        raise ValueError(
+            f"dimension mismatch: references d={references.shape[1]}, "
+            f"queries d={queries.shape[1]}"
+        )
+    batch, d, m = references.shape
+    n_queries, _, n = queries.shape
+    if not (1 <= k <= m):
+        raise ValueError(f"k={k} out of range for m={m}")
+
+    # Column-concatenate queries: (d, Q*n).
+    q_all = np.transpose(queries, (1, 0, 2)).reshape(d, n_queries * n)
+
+    if precision == "fp16":
+        from ..blas.gemm import batched_hgemm
+
+        prod, overflow = batched_hgemm(
+            device, references, q_all, alpha=1.0, tensor_core=tensor_core, stream=stream
+        )
+        if overflow:
+            raise HalfPrecisionOverflowError(scale, float(np.abs(prod).max()))
+        a = -2.0 * prod
+        const = 2.0 * scale * scale
+    elif precision == "fp32":
+        device.gemm(m, n_queries * n, d, batch=batch, dtype="fp32", stream=stream, step="GEMM")
+        a = -2.0 * np.einsum(
+            "bkm,kn->bmn",
+            references.astype(np.float32),
+            q_all.astype(np.float32),
+            optimize=True,
+        )
+        const = 2.0
+    else:
+        raise ValueError(f"precision must be 'fp16' or 'fp32', got {precision!r}")
+
+    device.top2_scan(m, batch * n_queries * n, dtype=precision, stream=stream, step="Top-2 sort")
+    columns = np.transpose(a, (1, 0, 2)).reshape(m, batch * n_queries * n)
+    top_vals, top_idx = functional_topk(columns, k)
+
+    device.elementwise(k * batch * n_queries * n, dtype=precision, stream=stream, step="sqrt")
+    sq = top_vals + np.float32(const)
+    np.maximum(sq, 0.0, out=sq)
+    dist = np.sqrt(sq, dtype=np.float32)
+    if precision == "fp16":
+        dist /= np.float32(scale)
+
+    device.d2h_result(n_queries * n, batch=batch, k=k, dtype=precision, stream=stream)
+    distances = dist.reshape(k, batch, n_queries, n).transpose(1, 2, 0, 3)
+    indices = top_idx.reshape(k, batch, n_queries, n).transpose(1, 2, 0, 3).astype(np.int32)
+    return MultiQueryResult(
+        distances=np.ascontiguousarray(distances),
+        indices=np.ascontiguousarray(indices),
+    )
+
+
+@dataclass(frozen=True)
+class QueryBatchPoint:
+    """One point of the throughput/latency trade-off curve."""
+
+    query_batch: int
+    throughput_images_per_s: float
+    latency_ms_per_query: float
+
+
+def query_batch_tradeoff(
+    spec: DeviceSpec,
+    cal: KernelCalibration,
+    query_batches: list[int],
+    reference_count: int = 100_000,
+    ref_batch: int = 256,
+    m: int = 384,
+    n: int = 768,
+    d: int = 128,
+    precision: str = "fp16",
+    host_resident: bool = True,
+) -> list[QueryBatchPoint]:
+    """Throughput vs. latency as the query batch grows.
+
+    One query group must scan *all* ``reference_count`` references;
+    latency is that full sweep's duration, throughput counts image
+    comparisons (pairs) per second.
+
+    With ``host_resident`` references (the hybrid-cache regime where
+    query batching actually pays) every sweep streams each reference
+    batch over PCIe *once*, so a larger query group amortises the
+    transfer across more comparisons — this is the mechanism behind
+    Sec. 5.3's "higher performance".
+    """
+    if reference_count < ref_batch:
+        raise ValueError("reference_count must cover at least one batch")
+    from ..gpusim.pcie import h2d_time_us
+
+    points = []
+    n_ref_batches = reference_count // ref_batch
+    transfer = (
+        h2d_time_us(spec, ref_batch * m * d * dtype_bytes(precision), pinned=True)
+        if host_resident
+        else 0.0
+    )
+    for qb in query_batches:
+        if qb < 1:
+            raise ValueError("query batch must be >= 1")
+        compute = (
+            gemm_us(spec, cal, m, qb * n, d, ref_batch, precision)
+            + top2_scan_us(spec, cal, m, ref_batch * qb * n, precision)
+            + elementwise_us(spec, cal, 2 * ref_batch * qb * n, precision)
+            + d2h_result_us(spec, cal, qb * n, ref_batch, 2, precision)
+            + postprocess_us(cal, ref_batch * qb, precision, n)
+        )
+        # Single-stream regime: transfer and compute serialise; the
+        # transfer is paid once per reference batch per sweep.
+        per_ref_batch = max(transfer, 0.0) + compute
+        sweep_us = per_ref_batch * n_ref_batches
+        pairs = reference_count * qb
+        points.append(
+            QueryBatchPoint(
+                query_batch=qb,
+                throughput_images_per_s=pairs / sweep_us * 1e6,
+                latency_ms_per_query=sweep_us / 1e3,
+            )
+        )
+    return points

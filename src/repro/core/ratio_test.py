@@ -1,0 +1,68 @@
+"""Lowe ratio test and match counting (the CPU post-processing stage).
+
+After the 2-NN kernel returns each query feature's nearest and second-
+nearest reference distances, a query feature is a *good match* when
+
+    d1 < ratio_threshold * d2
+
+i.e. its best reference neighbour is distinctly closer than the runner-
+up.  Two images are declared the same texture when the number of good
+matches clears ``min_matches`` (Sec. 3.1).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .results import ImageMatch, KnnResult
+
+__all__ = ["ratio_test_mask", "good_match_count", "match_images", "verify_pair"]
+
+
+def ratio_test_mask(distances: np.ndarray, ratio_threshold: float) -> np.ndarray:
+    """Boolean mask of query features passing the ratio test.
+
+    ``distances`` is ``(k>=2, n)`` with rows sorted ascending.  A second
+    neighbour of zero distance (duplicate features) can never pass,
+    matching OpenCV behaviour.
+    """
+    distances = np.asarray(distances)
+    if distances.ndim != 2 or distances.shape[0] < 2:
+        raise ValueError(f"expected (k>=2, n) distances, got {distances.shape}")
+    if not (0.0 < ratio_threshold < 1.0):
+        raise ValueError("ratio_threshold must be in (0, 1)")
+    d1 = distances[0]
+    d2 = distances[1]
+    return d1 < ratio_threshold * d2
+
+
+def good_match_count(distances: np.ndarray, ratio_threshold: float) -> int:
+    """Number of query features passing the ratio test."""
+    return int(ratio_test_mask(distances, ratio_threshold).sum())
+
+
+def match_images(
+    reference_id: str,
+    knn: KnnResult,
+    ratio_threshold: float,
+    keep_mask: bool = False,
+) -> ImageMatch:
+    """Build an :class:`ImageMatch` from one reference's 2-NN result."""
+    mask = ratio_test_mask(knn.distances, ratio_threshold)
+    return ImageMatch(
+        reference_id=reference_id,
+        good_matches=int(mask.sum()),
+        n_query_features=knn.n_query,
+        match_mask=mask if keep_mask else None,
+        matched_reference_indices=knn.indices[0][mask] if keep_mask else None,
+    )
+
+
+def verify_pair(
+    knn: KnnResult,
+    ratio_threshold: float,
+    min_matches: int,
+) -> tuple[bool, int]:
+    """One-to-one verification decision: ``(same_texture, good_matches)``."""
+    count = good_match_count(knn.distances, ratio_threshold)
+    return count >= min_matches, count

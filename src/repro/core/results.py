@@ -1,0 +1,77 @@
+"""Result types shared across the matching pipeline."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+__all__ = ["KnnResult", "ImageMatch", "SearchResult"]
+
+
+@dataclass
+class KnnResult:
+    """Top-k output of one 2-NN computation against one reference image.
+
+    ``distances`` is ``(k, n)`` — row 0 the nearest, row 1 the second
+    nearest — and ``indices`` the matching reference-feature indices,
+    exactly the sub-matrix step 8 of Algorithm 1 ships back to the host.
+    """
+
+    distances: np.ndarray
+    indices: np.ndarray
+
+    def __post_init__(self) -> None:
+        if self.distances.shape != self.indices.shape:
+            raise ValueError(
+                f"distances {self.distances.shape} and indices "
+                f"{self.indices.shape} must have the same shape"
+            )
+
+    @property
+    def k(self) -> int:
+        return self.distances.shape[0]
+
+    @property
+    def n_query(self) -> int:
+        return self.distances.shape[1]
+
+
+@dataclass
+class ImageMatch:
+    """Outcome of matching the query against one reference image."""
+
+    reference_id: str
+    good_matches: int
+    n_query_features: int
+    match_mask: np.ndarray | None = None
+    matched_reference_indices: np.ndarray | None = None
+    inliers: int | None = None  # populated by geometric verification
+
+    @property
+    def score(self) -> int:
+        """Ranking score: inlier count when verified, else match count."""
+        return self.inliers if self.inliers is not None else self.good_matches
+
+
+@dataclass
+class SearchResult:
+    """Outcome of a one-to-many search."""
+
+    matches: list[ImageMatch] = field(default_factory=list)
+    elapsed_us: float = 0.0
+    images_searched: int = 0
+
+    def top(self, count: int = 1) -> list[ImageMatch]:
+        """Best ``count`` reference images by score (descending)."""
+        return sorted(self.matches, key=lambda m: (-m.score, m.reference_id))[:count]
+
+    def best(self) -> ImageMatch | None:
+        top = self.top(1)
+        return top[0] if top else None
+
+    @property
+    def throughput_images_per_s(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.images_searched / (self.elapsed_us * 1e-6)

@@ -1,0 +1,90 @@
+"""Top-2 selection kernels (Sec. 4.1).
+
+Functional NumPy implementations of the two selection strategies the
+paper compares:
+
+* :func:`top2_scan` — the proposed register-resident single-pass scan.
+  Each column is scanned once, keeping the two smallest values in
+  registers; no intermediate stores.  81.9 % faster than insertion sort
+  at batch 1 (Table 1).
+* :func:`insertion_topk` — the Garcia et al. [9] modified insertion
+  sort, the general-k baseline (functionally identical for k = 2 but
+  charged its much higher memory-traffic cost).
+
+Both return ``(values, indices)`` with shape ``(k, columns)``, smallest
+first, over the *rows* of the input (one column = one query feature's
+distance vector, as in Algorithm 1).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..gpusim.engine_model import GPUDevice
+from ..gpusim.stream import Stream
+
+__all__ = ["top2_scan", "insertion_topk", "functional_topk"]
+
+
+def functional_topk(a: np.ndarray, k: int) -> tuple[np.ndarray, np.ndarray]:
+    """Smallest ``k`` values (and row indices) of each column of ``a``.
+
+    Deterministic tie-breaking: ties resolve to the lower row index,
+    matching what a sequential scan produces.
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"expected (m, columns), got shape {a.shape}")
+    m, _cols = a.shape
+    if not (1 <= k <= m):
+        raise ValueError(f"k={k} out of range for m={m}")
+    if k == m:
+        idx = np.argsort(a, axis=0, kind="stable")
+    else:
+        part = np.argpartition(a, k - 1, axis=0)[:k, :]
+        vals = np.take_along_axis(a, part, axis=0)
+        order = np.argsort(vals, axis=0, kind="stable")
+        idx = np.take_along_axis(part, order, axis=0)
+    idx = idx[:k, :]
+    return np.take_along_axis(a, idx, axis=0), idx
+
+
+def top2_scan(
+    device: GPUDevice,
+    a: np.ndarray,
+    dtype: str = "fp16",
+    stream: Optional[Stream] = None,
+    k: int = 2,
+    step: str = "Top-2 sort",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Register-resident top-k scan over the columns of ``(m, cols)``.
+
+    Charged with the single-pass scan cost model.  ``k`` defaults to 2
+    — the whole point of the kernel is that two registers per thread
+    suffice (Sec. 4.1).
+    """
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"expected (m, columns), got shape {a.shape}")
+    m, cols = a.shape
+    device.top2_scan(m, cols, dtype=dtype, stream=stream, step=step)
+    return functional_topk(a, k)
+
+
+def insertion_topk(
+    device: GPUDevice,
+    a: np.ndarray,
+    k: int = 2,
+    dtype: str = "fp32",
+    stream: Optional[Stream] = None,
+    step: str = "Top-2 sort",
+) -> tuple[np.ndarray, np.ndarray]:
+    """Modified insertion sort baseline (general k, heavy memory traffic)."""
+    a = np.asarray(a)
+    if a.ndim != 2:
+        raise ValueError(f"expected (m, columns), got shape {a.shape}")
+    m, cols = a.shape
+    device.insertion_sort(m, cols, dtype=dtype, stream=stream, step=step)
+    return functional_topk(a, k)

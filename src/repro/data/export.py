@@ -1,0 +1,62 @@
+"""Dataset persistence.
+
+Accuracy experiments must be reproducible across sessions; this module
+saves/loads :class:`IdentificationDataset` objects as ``.npz`` archives
+(descriptor matrices + ground-truth ids), so a sweep can be re-run on
+the exact same data without regenerating it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from ..errors import SerializationError
+from .dataset import IdentificationDataset, LabeledFeatures
+
+__all__ = ["save_dataset", "load_dataset"]
+
+_FORMAT_VERSION = 1
+
+
+def save_dataset(dataset: IdentificationDataset, path: str | Path) -> Path:
+    """Write a dataset to ``path`` (``.npz`` appended if missing)."""
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz")
+    arrays: dict[str, np.ndarray] = {
+        "__version__": np.array([_FORMAT_VERSION]),
+        "ref_ids": np.array([r.brick_id for r in dataset.references], dtype=np.int64),
+        "query_ids": np.array([q.brick_id for q in dataset.queries], dtype=np.int64),
+    }
+    for i, ref in enumerate(dataset.references):
+        arrays[f"ref_{i}"] = ref.descriptors
+    for i, query in enumerate(dataset.queries):
+        arrays[f"query_{i}"] = query.descriptors
+    path.parent.mkdir(parents=True, exist_ok=True)
+    np.savez_compressed(path, **arrays)
+    return path
+
+
+def load_dataset(path: str | Path) -> IdentificationDataset:
+    """Load a :func:`save_dataset` archive."""
+    path = Path(path)
+    with np.load(path) as archive:
+        try:
+            version = int(archive["__version__"][0])
+        except KeyError:
+            raise SerializationError(f"{path} is not a dataset archive") from None
+        if version > _FORMAT_VERSION:
+            raise SerializationError(f"unsupported dataset version {version}")
+        ref_ids = archive["ref_ids"]
+        query_ids = archive["query_ids"]
+        references = [
+            LabeledFeatures(int(ref_ids[i]), archive[f"ref_{i}"])
+            for i in range(len(ref_ids))
+        ]
+        queries = [
+            LabeledFeatures(int(query_ids[i]), archive[f"query_{i}"])
+            for i in range(len(query_ids))
+        ]
+    return IdentificationDataset(references=references, queries=queries)

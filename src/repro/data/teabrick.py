@@ -1,0 +1,142 @@
+"""Procedural tea-brick texture generator.
+
+The paper evaluates on a proprietary dataset of 300,000 pressed Pu'er
+tea-brick images (Sec. 3.2) which we cannot obtain, so this module
+synthesises the closest structural equivalent: each *brick* is a
+deterministic, seed-driven texture composed of
+
+* multi-octave value noise (the pressed-leaf base relief), and
+* anisotropic "flake" streaks (individual leaf fragments), each brick
+  having its own random flake layout — the unique, non-repeating
+  surface detail that makes texture *identification* possible.
+
+Two images of the same brick share the latent texture but differ by
+capture conditions (see :mod:`repro.data.transforms`), exactly the
+property the identification task relies on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["TeaBrickGenerator", "value_noise"]
+
+
+def _smoothstep(t: np.ndarray) -> np.ndarray:
+    return t * t * (3.0 - 2.0 * t)
+
+
+def _unit_std(img: np.ndarray) -> np.ndarray:
+    """Zero-mean, unit-std copy (identity for constant images)."""
+    out = img - img.mean()
+    std = out.std()
+    return out / std if std > 0 else out
+
+
+def value_noise(shape: tuple[int, int], cells: int, rng: np.random.Generator) -> np.ndarray:
+    """One octave of bilinear-interpolated lattice noise in [0, 1]."""
+    if cells < 1:
+        raise ValueError("cells must be >= 1")
+    h, w = shape
+    lattice = rng.random((cells + 1, cells + 1))
+    ys = np.linspace(0, cells, h, endpoint=False)
+    xs = np.linspace(0, cells, w, endpoint=False)
+    y0 = ys.astype(np.int64)
+    x0 = xs.astype(np.int64)
+    ty = _smoothstep(ys - y0)[:, None]
+    tx = _smoothstep(xs - x0)[None, :]
+    v00 = lattice[np.ix_(y0, x0)]
+    v01 = lattice[np.ix_(y0, x0 + 1)]
+    v10 = lattice[np.ix_(y0 + 1, x0)]
+    v11 = lattice[np.ix_(y0 + 1, x0 + 1)]
+    top = v00 * (1 - tx) + v01 * tx
+    bottom = v10 * (1 - tx) + v11 * tx
+    return top * (1 - ty) + bottom * ty
+
+
+class TeaBrickGenerator:
+    """Deterministic per-brick texture synthesis.
+
+    ``brick(brick_id)`` always returns the same canonical image for the
+    same ``(seed, brick_id)`` pair — the ground truth identity the
+    dataset builders rely on.
+    """
+
+    def __init__(
+        self,
+        size: int = 256,
+        octaves: int | None = None,
+        n_flakes: int | None = None,
+        persistence: float = 0.8,
+        seed: int = 0,
+    ) -> None:
+        if size < 32:
+            raise ValueError("size must be >= 32")
+        self.size = int(size)
+        # Enough octaves to reach ~2-pixel detail: SIFT needs texture
+        # energy near its finest scales or it detects almost nothing.
+        self.octaves = int(octaves) if octaves is not None else max(3, int(np.log2(size)) - 2)
+        if self.octaves < 1:
+            raise ValueError("octaves must be >= 1")
+        # Flake density per unit area (the pressed-leaf fragments are a
+        # surface property, not a per-image count).
+        self.n_flakes = (
+            int(n_flakes) if n_flakes is not None else max(40, int(400 * (size / 256.0) ** 2))
+        )
+        self.persistence = float(persistence)
+        self.seed = int(seed)
+
+    def _rng_for(self, brick_id: int) -> np.random.Generator:
+        return np.random.default_rng(np.random.SeedSequence([self.seed, int(brick_id)]))
+
+    def brick(self, brick_id: int) -> np.ndarray:
+        """Canonical grayscale texture of one brick, float32 in [0, 1]."""
+        rng = self._rng_for(brick_id)
+        s = self.size
+        img = np.zeros((s, s), dtype=np.float64)
+        amplitude = 1.0
+        total = 0.0
+        for octave in range(self.octaves):
+            cells = 4 * (2**octave)
+            img += amplitude * value_noise((s, s), min(cells, s // 2), rng)
+            total += amplitude
+            amplitude *= self.persistence
+        img /= total
+
+        # Pressed-leaf flakes: short anti-aliased oriented streaks with
+        # random polarity (ridges and grooves).  Widths floor at ~1 px so
+        # the streak survives pixelisation at small render sizes.
+        ys, xs = np.mgrid[0:s, 0:s].astype(np.float64)
+        for _ in range(self.n_flakes):
+            cx, cy = rng.random(2) * s
+            theta = rng.random() * np.pi
+            length = max(2.0, rng.uniform(0.02, 0.08) * s)
+            width = max(1.0, rng.uniform(0.004, 0.012) * s)
+            polarity = rng.choice([-1.0, 1.0])
+            strength = rng.uniform(0.15, 0.40)
+            dx = xs - cx
+            dy = ys - cy
+            along = dx * np.cos(theta) + dy * np.sin(theta)
+            across = -dx * np.sin(theta) + dy * np.cos(theta)
+            mask = np.exp(-(along / length) ** 2 - (across / width) ** 2)
+            img += polarity * strength * mask
+
+        # Fine granular relief (tea-leaf dust): band-passed white noise.
+        # Bilinear value noise is too smooth to excite SIFT's finest DoG
+        # scales; Gaussian-filtered white noise puts blob-like energy
+        # exactly there (wavelengths of 2-6 px).  The grain carries a
+        # comparable share of the variance to the coarse relief — that
+        # is what makes each brick yield hundreds of keypoints, like the
+        # real pressed-tea surfaces the paper photographs.
+        from ..features.gaussian import gaussian_blur
+
+        grain_fine = gaussian_blur(rng.random((s, s)).astype(np.float32), 2.0).astype(np.float64)
+        grain_mid = gaussian_blur(rng.random((s, s)).astype(np.float32), 3.5).astype(np.float64)
+        img = _unit_std(img) + 1.1 * _unit_std(grain_fine) + 0.5 * _unit_std(grain_mid)
+
+        # Contrast-normalise to a fixed std (peak normalisation would let
+        # one extreme flake flatten the whole texture below SIFT's
+        # contrast threshold), then clip into [0, 1].
+        img = _unit_std(img) * 0.16 + 0.5
+        np.clip(img, 0.0, 1.0, out=img)
+        return img.astype(np.float32)

@@ -1,0 +1,40 @@
+"""Distributed texture search substrate (Sec. 8, Fig. 6): protobuf-like
+serialization, a Redis-like KV store, GPU container nodes, the sharded
+scatter-gather cluster, and the RESTful API layer."""
+
+from .cluster import ClusterSearchResult, DistributedSearchSystem, WEB_TIER_OVERHEAD_US
+from .kvstore import KVStore
+from .loadbalancer import DispatchRecord, WebTier
+from .node import NodeConfig, SearchNode
+from .rest import Request, Response, Router, build_api
+from .sharding import ConsistentHashPlacement, PlacementPolicy, RoundRobinPlacement
+from .serialization import (
+    FeatureRecord,
+    decode_varint,
+    deserialize_record,
+    encode_varint,
+    serialize_record,
+)
+
+__all__ = [
+    "ClusterSearchResult",
+    "ConsistentHashPlacement",
+    "DispatchRecord",
+    "PlacementPolicy",
+    "RoundRobinPlacement",
+    "DistributedSearchSystem",
+    "FeatureRecord",
+    "KVStore",
+    "WebTier",
+    "NodeConfig",
+    "Request",
+    "Response",
+    "Router",
+    "SearchNode",
+    "WEB_TIER_OVERHEAD_US",
+    "build_api",
+    "decode_varint",
+    "deserialize_record",
+    "encode_varint",
+    "serialize_record",
+]

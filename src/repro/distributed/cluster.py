@@ -1,0 +1,259 @@
+"""The distributed texture search system (Sec. 8, Fig. 6).
+
+``DistributedSearchSystem`` shards reference matrices round-robin over
+its GPU containers (the paper allocates them "equally to those 14 GPU
+containers"), persists every record in the Redis-like store, and
+answers searches by scatter-gather: the query fans out to all nodes,
+each scans its shard, and the best match wins globally.
+
+Simulated wall-clock of one search is the *maximum* node time (the
+nodes run concurrently) plus a fixed web/network overhead; aggregate
+throughput is the sum of node throughputs — this is the arithmetic
+behind the paper's 872,984 img/s on 14 P100s.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.config import EngineConfig
+from ..core.results import ImageMatch, SearchResult
+from ..errors import ClusterError
+from ..gpusim.device import DeviceSpec, TESLA_P100
+from .kvstore import KVStore
+from .node import NodeConfig, SearchNode
+from .serialization import FeatureRecord, serialize_record
+
+__all__ = ["ClusterSearchResult", "DistributedSearchSystem"]
+
+#: request routing + result aggregation overhead of the web tier per
+#: search (REST parsing, Redis metadata lookups, fan-out RPC).
+WEB_TIER_OVERHEAD_US = 2000.0
+
+
+@dataclass
+class ClusterSearchResult:
+    """Scatter-gather outcome across the whole cluster."""
+
+    matches: list[ImageMatch]
+    per_node: dict[str, SearchResult]
+    elapsed_us: float
+    images_searched: int
+
+    def best(self) -> ImageMatch | None:
+        if not self.matches:
+            return None
+        return max(self.matches, key=lambda m: (m.score, m.reference_id != ""))
+
+    def top(self, count: int = 1) -> list[ImageMatch]:
+        return sorted(self.matches, key=lambda m: (-m.score, m.reference_id))[:count]
+
+    @property
+    def throughput_images_per_s(self) -> float:
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.images_searched / (self.elapsed_us * 1e-6)
+
+
+class DistributedSearchSystem:
+    """Fourteen-GPU-container texture identification service (scalable
+    to any node count)."""
+
+    def __init__(
+        self,
+        n_nodes: int = 14,
+        engine_config: EngineConfig | None = None,
+        device_spec: DeviceSpec = TESLA_P100,
+        node_config: NodeConfig | None = None,
+        store: KVStore | None = None,
+        placement: str = "round-robin",
+    ) -> None:
+        if n_nodes < 1:
+            raise ClusterError("a cluster needs at least one node")
+        self.engine_config = engine_config or EngineConfig(m=384, n=768)
+        self.store = store or KVStore()
+        self.nodes = [
+            SearchNode(f"gpu-{i:02d}", self.engine_config, device_spec, node_config)
+            for i in range(n_nodes)
+        ]
+        from .sharding import ConsistentHashPlacement, RoundRobinPlacement
+
+        node_ids = [node.node_id for node in self.nodes]
+        if placement == "round-robin":
+            self.placement = RoundRobinPlacement(node_ids)
+        elif placement == "consistent-hash":
+            self.placement = ConsistentHashPlacement(node_ids)
+        else:
+            raise ClusterError(f"unknown placement policy {placement!r}")
+        self._placement: dict[str, str] = {}
+
+    # ------------------------------------------------------------------
+    def _node_by_id(self, node_id: str) -> SearchNode:
+        for node in self.nodes:
+            if node.node_id == node_id:
+                return node
+        raise ClusterError(f"unknown node {node_id!r}")
+
+    def add(self, ref_id: str, descriptors: np.ndarray) -> str:
+        """Enrol a reference; returns the node that owns the shard.
+
+        The raw descriptors are also persisted in the KV store (the
+        system of record) so containers can re-hydrate after restarts.
+        """
+        ref_id = str(ref_id)
+        record = FeatureRecord(
+            ref_id=ref_id,
+            matrix=np.asarray(descriptors, dtype=np.float32),
+            precision="fp32",
+            scale=1.0,
+        )
+        self.store.set(f"feature:{ref_id}", serialize_record(record))
+        if ref_id in self._placement:
+            node = self._node_by_id(self._placement[ref_id])  # update in place
+        else:
+            node = self._node_by_id(self.placement.place(ref_id))
+            self._placement[ref_id] = node.node_id
+        node.add(ref_id, descriptors)
+        self.store.hset("placement", ref_id, node.node_id.encode())
+        return node.node_id
+
+    def remove(self, ref_id: str) -> bool:
+        ref_id = str(ref_id)
+        node_id = self._placement.pop(ref_id, None)
+        if node_id is None:
+            return False
+        self._node_by_id(node_id).remove(ref_id)
+        self.store.delete(f"feature:{ref_id}")
+        self.store.hdel("placement", ref_id)
+        return True
+
+    def has(self, ref_id: str) -> bool:
+        return str(ref_id) in self._placement
+
+    def get_record_bytes(self, ref_id: str) -> bytes | None:
+        return self.store.get(f"feature:{ref_id}")
+
+    # ------------------------------------------------------------------
+    # elasticity / failover
+    # ------------------------------------------------------------------
+    def add_node(self, device_spec: DeviceSpec | None = None) -> SearchNode:
+        """Attach a fresh (empty) GPU container to the cluster."""
+        node = SearchNode(
+            f"gpu-{len(self.nodes):02d}",
+            self.engine_config,
+            device_spec or self.nodes[0].engine.device.spec,
+        )
+        self.nodes.append(node)
+        self.placement.add_node(node.node_id)
+        return node
+
+    def remove_node(self, node_id: str) -> int:
+        """Decommission a container, redistributing its shard.
+
+        The KV store is the system of record (Sec. 8), so the departing
+        node's references are re-hydrated from their serialized records
+        onto the surviving nodes round-robin.  Returns the number of
+        references reassigned.  Removing the last node raises.
+        """
+        if len(self.nodes) <= 1:
+            raise ClusterError("cannot remove the last node")
+        victim = self._node_by_id(node_id)
+        self.nodes.remove(victim)
+        self.placement.remove_node(node_id)
+        orphaned = [ref for ref, owner in self._placement.items() if owner == node_id]
+        from .serialization import deserialize_record
+
+        for ref_id in orphaned:
+            blob = self.store.get(f"feature:{ref_id}")
+            if blob is None:
+                # record lost with the node: drop the placement entry
+                del self._placement[ref_id]
+                self.store.hdel("placement", ref_id)
+                continue
+            node = self._node_by_id(self.placement.place(ref_id))
+            node.add_record(deserialize_record(blob))
+            self._placement[ref_id] = node.node_id
+            self.store.hset("placement", ref_id, node.node_id.encode())
+        return len(orphaned)
+
+    # ------------------------------------------------------------------
+    def search(self, query_descriptors: np.ndarray) -> ClusterSearchResult:
+        """Scatter the query to all nodes, gather and rank the results."""
+        per_node: dict[str, SearchResult] = {}
+        matches: list[ImageMatch] = []
+        slowest_us = 0.0
+        images = 0
+        for node in self.nodes:
+            if node.n_references == 0:
+                continue
+            result = node.search(query_descriptors)
+            per_node[node.node_id] = result
+            matches.extend(result.matches)
+            slowest_us = max(slowest_us, result.elapsed_us)
+            images += result.images_searched
+        return ClusterSearchResult(
+            matches=matches,
+            per_node=per_node,
+            elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US,
+            images_searched=images,
+        )
+
+    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[ClusterSearchResult]:
+        """Query-batched scatter-gather (Sec. 5.3 applied cluster-wide).
+
+        Each node answers the whole query group in one sweep
+        (:meth:`TextureSearchEngine.search_many`); per-query results are
+        then gathered.  All queries share the group's completion time.
+        """
+        if not query_descriptor_list:
+            return []
+        n_queries = len(query_descriptor_list)
+        per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
+        per_node_all: list[dict[str, SearchResult]] = [dict() for _ in range(n_queries)]
+        slowest_us = 0.0
+        images = 0
+        for node in self.nodes:
+            if node.n_references == 0:
+                continue
+            grouped = node.engine.search_many(query_descriptor_list)
+            slowest_us = max(slowest_us, grouped[0].elapsed_us)
+            images += grouped[0].images_searched
+            for q, result in enumerate(grouped):
+                per_query_matches[q].extend(result.matches)
+                per_node_all[q][node.node_id] = result
+        elapsed = slowest_us + WEB_TIER_OVERHEAD_US
+        return [
+            ClusterSearchResult(
+                matches=per_query_matches[q],
+                per_node=per_node_all[q],
+                elapsed_us=elapsed,
+                images_searched=images,
+            )
+            for q in range(n_queries)
+        ]
+
+    # ------------------------------------------------------------------
+    @property
+    def n_references(self) -> int:
+        return len(self._placement)
+
+    def capacity_images(self) -> int:
+        """Cluster capacity (Sec. 8: 10.8 M at m=384 FP16, 14 nodes)."""
+        return sum(node.capacity_images() for node in self.nodes)
+
+    def aggregate_throughput_images_per_s(self) -> float:
+        """Sum of per-node steady-state search throughputs."""
+        total = 0.0
+        for node in self.nodes:
+            total += node.engine.stats.mean_throughput_images_per_s
+        return total
+
+    def stats(self) -> dict:
+        return {
+            "nodes": [node.stats() for node in self.nodes],
+            "references": self.n_references,
+            "capacity_images": self.capacity_images(),
+            "kv_keys": self.store.dbsize(),
+        }

@@ -1,0 +1,99 @@
+"""Web tier with load balancing (Fig. 6's four RESTful containers).
+
+The paper fronts the GPU containers with web-service containers; this
+module models that tier: a :class:`WebTier` owns ``n_workers`` router
+replicas, dispatches incoming requests round-robin (or to the least
+loaded worker), and tracks a simulated per-worker clock so concurrent
+request bursts exhibit realistic queueing — each worker serialises its
+own requests while different workers proceed in parallel.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .cluster import DistributedSearchSystem, WEB_TIER_OVERHEAD_US
+from .rest import Request, Response, Router, build_api
+
+__all__ = ["DispatchRecord", "WebTier"]
+
+#: request parsing/serialisation cost charged per request on its worker.
+REQUEST_HANDLING_US = 500.0
+
+
+@dataclass
+class DispatchRecord:
+    """Outcome of one request through the web tier."""
+
+    worker: int
+    response: Response
+    started_us: float
+    completed_us: float
+
+    @property
+    def latency_us(self) -> float:
+        return self.completed_us
+
+
+class WebTier:
+    """Load-balanced front end over one search cluster."""
+
+    def __init__(
+        self,
+        system: DistributedSearchSystem,
+        n_workers: int = 4,
+        policy: str = "round-robin",
+    ) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one web worker")
+        if policy not in ("round-robin", "least-loaded"):
+            raise ValueError(f"unknown policy {policy!r}")
+        self.system = system
+        self.policy = policy
+        self.routers: list[Router] = [build_api(system) for _ in range(n_workers)]
+        self.worker_clock_us = [0.0] * n_workers
+        self.requests_handled = [0] * n_workers
+        self._next = 0
+
+    @property
+    def n_workers(self) -> int:
+        return len(self.routers)
+
+    def _pick_worker(self) -> int:
+        if self.policy == "least-loaded":
+            return int(min(range(self.n_workers), key=lambda w: self.worker_clock_us[w]))
+        worker = self._next
+        self._next = (self._next + 1) % self.n_workers
+        return worker
+
+    def handle(self, request: Request) -> DispatchRecord:
+        """Dispatch one request; the worker's clock advances by the
+        handling cost plus (for searches) the cluster's simulated time."""
+        worker = self._pick_worker()
+        started = self.worker_clock_us[worker]
+        response = self.routers[worker].handle(request)
+        cost = REQUEST_HANDLING_US
+        if request.path == "/search" and response.ok:
+            # the cluster already accounts the web overhead once;
+            # subtract it so the tier model doesn't double charge
+            cost += max(0.0, response.body.get("elapsed_us", 0.0) - WEB_TIER_OVERHEAD_US)
+        self.worker_clock_us[worker] = started + cost
+        self.requests_handled[worker] += 1
+        return DispatchRecord(
+            worker=worker,
+            response=response,
+            started_us=started,
+            completed_us=self.worker_clock_us[worker],
+        )
+
+    def handle_burst(self, requests: list[Request]) -> list[DispatchRecord]:
+        """Dispatch a burst arriving simultaneously; returns records in
+        submission order.  Makespan is :meth:`makespan_us` afterwards."""
+        return [self.handle(request) for request in requests]
+
+    def makespan_us(self) -> float:
+        """Completion time of the busiest worker."""
+        return max(self.worker_clock_us)
+
+    def reset_clocks(self) -> None:
+        self.worker_clock_us = [0.0] * self.n_workers

@@ -1,0 +1,138 @@
+"""One GPU container of the distributed system (Fig. 6).
+
+A node owns one simulated GPU card, one search engine with a hybrid
+cache (Sec. 8: 4 GB of the 16 GB card reserved for intermediates, the
+remaining 12 GB + 64 GB host memory caching reference matrices = 76 GB
+per container), and hydrates itself from the shared KV store.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.config import EngineConfig
+from ..core.engine import TextureSearchEngine
+from ..core.results import SearchResult
+from ..gpusim.device import DeviceSpec, TESLA_P100
+from ..gpusim.engine_model import GPUDevice
+from .kvstore import KVStore
+from .serialization import FeatureRecord, deserialize_record
+
+__all__ = ["NodeConfig", "SearchNode"]
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class NodeConfig:
+    """Per-container resources (Sec. 8 defaults)."""
+
+    engine_reserved_bytes: int = 4 * GIB
+    host_cache_bytes: int = 64 * 10**9
+    pinned: bool = True
+
+
+class SearchNode:
+    """A GPU container: engine + cache + KV hydration."""
+
+    def __init__(
+        self,
+        node_id: str,
+        engine_config: EngineConfig | None = None,
+        device_spec: DeviceSpec = TESLA_P100,
+        node_config: NodeConfig | None = None,
+    ) -> None:
+        self.node_id = str(node_id)
+        self.node_config = node_config or NodeConfig()
+        device = GPUDevice(device_spec, reserved_bytes=self.node_config.engine_reserved_bytes)
+        self.engine = TextureSearchEngine(
+            config=engine_config,
+            device=device,
+            host_cache_bytes=self.node_config.host_cache_bytes,
+            pinned=self.node_config.pinned,
+        )
+
+    # ------------------------------------------------------------------
+    def add(self, ref_id: str, descriptors: np.ndarray) -> None:
+        self.engine.add_reference(ref_id, descriptors)
+
+    def add_record(self, record: FeatureRecord) -> None:
+        """Enrol a deserialized KV record.
+
+        Records store raw (pre-RootSIFT, FP32-domain) descriptors so a
+        node can re-quantise to its own engine configuration; FP16
+        records are dequantised first.
+        """
+        matrix = record.matrix.astype(np.float32)
+        if record.precision == "fp16" and record.scale != 1.0:
+            matrix = matrix / np.float32(record.scale)
+        self.add(record.ref_id, matrix)
+
+    def remove(self, ref_id: str) -> bool:
+        return self.engine.remove_reference(ref_id)
+
+    def has(self, ref_id: str) -> bool:
+        return self.engine.has_reference(ref_id)
+
+    def search(self, query_descriptors: np.ndarray) -> SearchResult:
+        return self.engine.search(query_descriptors)
+
+    def hydrate_from_store(self, store: KVStore, keys: list[str]) -> int:
+        """Load serialized feature records from the KV store."""
+        loaded = 0
+        for key in keys:
+            blob = store.get(key)
+            if blob is None:
+                continue
+            self.add_record(deserialize_record(blob))
+            loaded += 1
+        return loaded
+
+    # ------------------------------------------------------------------
+    def snapshot_to_store(self, store: KVStore, prefix: str | None = None) -> int:
+        """Persist this node's *prepared* cache state to the KV store.
+
+        Unlike the raw-descriptor records under ``feature:*``, snapshot
+        records hold the engine-precision matrices, so a restart can
+        skip all preprocessing (:meth:`restore_from_store`).
+        """
+        from .serialization import serialize_record
+
+        prefix = prefix if prefix is not None else f"snapshot:{self.node_id}:"
+        records = self.engine.export_records()
+        for record in records:
+            store.set(f"{prefix}{record.ref_id}", serialize_record(record))
+        return len(records)
+
+    def restore_from_store(self, store: KVStore, prefix: str | None = None) -> int:
+        """Warm-restart: re-enrol a :meth:`snapshot_to_store` snapshot."""
+        prefix = prefix if prefix is not None else f"snapshot:{self.node_id}:"
+        records = []
+        for key in store.keys(f"{prefix}*"):
+            blob = store.get(key)
+            if blob is not None:
+                records.append(deserialize_record(blob))
+        return self.engine.import_records(records)
+
+    # ------------------------------------------------------------------
+    @property
+    def n_references(self) -> int:
+        return self.engine.n_references
+
+    def capacity_images(self) -> int:
+        return self.engine.capacity_images()
+
+    def stats(self) -> dict:
+        gpu_used, host_used = self.engine.cache.used_bytes
+        return {
+            "node_id": self.node_id,
+            "device": self.engine.device.spec.name,
+            "references": self.n_references,
+            "capacity_images": self.capacity_images(),
+            "gpu_cache_bytes": gpu_used,
+            "host_cache_bytes": host_used,
+            "searches": self.engine.stats.searches,
+            "mean_images_per_s": self.engine.stats.mean_throughput_images_per_s,
+        }

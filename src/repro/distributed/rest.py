@@ -1,0 +1,179 @@
+"""RESTful API layer (Sec. 8: "We can add, delete, update, and search a
+texture image through the provided APIs").
+
+An in-process HTTP-like router: requests carry a method, a path and a
+JSON-style dict body; responses carry a status code and a dict body.
+Routes::
+
+    POST   /textures            {"id": ..., "descriptors": [[...], ...]}
+    GET    /textures/{id}
+    PUT    /textures/{id}       {"descriptors": [[...], ...]}
+    DELETE /textures/{id}
+    POST   /search              {"descriptors": [[...], ...], "top": k}
+    GET    /stats
+
+Descriptor payloads are ``(d, count)`` nested lists (what a JSON body
+would carry).  No sockets are involved — the web tier of the paper's
+Fig. 6 is reproduced as a deterministic, testable dispatch layer.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from ..errors import RestError
+from .cluster import DistributedSearchSystem
+
+__all__ = ["Request", "Response", "Router", "build_api"]
+
+_ID_PATTERN = re.compile(r"^[A-Za-z0-9_.:-]{1,128}$")
+
+
+@dataclass
+class Request:
+    method: str
+    path: str
+    body: dict = field(default_factory=dict)
+
+
+@dataclass
+class Response:
+    status: int
+    body: dict = field(default_factory=dict)
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class Router:
+    """Method + path-template dispatch (``{param}`` segments)."""
+
+    def __init__(self) -> None:
+        self._routes: list[tuple[str, re.Pattern, Callable]] = []
+
+    def route(self, method: str, template: str):
+        pattern = re.compile(
+            "^" + re.sub(r"\{(\w+)\}", r"(?P<\1>[^/]+)", template) + "$"
+        )
+
+        def decorator(fn: Callable) -> Callable:
+            self._routes.append((method.upper(), pattern, fn))
+            return fn
+
+        return decorator
+
+    def handle(self, request: Request) -> Response:
+        matched_path = False
+        for method, pattern, fn in self._routes:
+            match = pattern.match(request.path)
+            if not match:
+                continue
+            matched_path = True
+            if method != request.method.upper():
+                continue
+            try:
+                return fn(request, **match.groupdict())
+            except RestError as exc:
+                return Response(exc.status, {"error": str(exc)})
+        if matched_path:
+            return Response(405, {"error": f"method {request.method} not allowed"})
+        return Response(404, {"error": f"no route for {request.path}"})
+
+
+def _parse_descriptors(body: dict, d_expected: int) -> np.ndarray:
+    raw = body.get("descriptors")
+    if raw is None:
+        raise RestError(400, "missing 'descriptors'")
+    try:
+        matrix = np.asarray(raw, dtype=np.float32)
+    except (TypeError, ValueError) as exc:
+        raise RestError(400, f"malformed descriptors: {exc}") from exc
+    if matrix.ndim != 2 or matrix.shape[0] != d_expected:
+        raise RestError(
+            400,
+            f"descriptors must be ({d_expected}, count), got {list(matrix.shape)}",
+        )
+    if not np.all(np.isfinite(matrix)):
+        raise RestError(400, "descriptors contain non-finite values")
+    return matrix
+
+
+def _check_id(ref_id: str) -> str:
+    if not _ID_PATTERN.match(ref_id):
+        raise RestError(400, f"invalid texture id {ref_id!r}")
+    return ref_id
+
+
+def build_api(system: DistributedSearchSystem) -> Router:
+    """Wire the Sec. 8 API routes onto a cluster."""
+    router = Router()
+    d = system.engine_config.d
+
+    @router.route("POST", "/textures")
+    def add_texture(request: Request) -> Response:
+        ref_id = _check_id(str(request.body.get("id", "")))
+        matrix = _parse_descriptors(request.body, d)
+        existed = system.has(ref_id)
+        node_id = system.add(ref_id, matrix)
+        return Response(
+            200 if existed else 201,
+            {"id": ref_id, "node": node_id, "updated": existed},
+        )
+
+    @router.route("GET", "/textures/{ref_id}")
+    def get_texture(request: Request, ref_id: str) -> Response:
+        ref_id = _check_id(ref_id)
+        if not system.has(ref_id):
+            raise RestError(404, f"texture {ref_id!r} not found")
+        blob = system.get_record_bytes(ref_id)
+        return Response(
+            200,
+            {"id": ref_id, "stored_bytes": 0 if blob is None else len(blob)},
+        )
+
+    @router.route("PUT", "/textures/{ref_id}")
+    def update_texture(request: Request, ref_id: str) -> Response:
+        ref_id = _check_id(ref_id)
+        if not system.has(ref_id):
+            raise RestError(404, f"texture {ref_id!r} not found")
+        matrix = _parse_descriptors(request.body, d)
+        node_id = system.add(ref_id, matrix)
+        return Response(200, {"id": ref_id, "node": node_id, "updated": True})
+
+    @router.route("DELETE", "/textures/{ref_id}")
+    def delete_texture(request: Request, ref_id: str) -> Response:
+        ref_id = _check_id(ref_id)
+        if not system.remove(ref_id):
+            raise RestError(404, f"texture {ref_id!r} not found")
+        return Response(200, {"id": ref_id, "deleted": True})
+
+    @router.route("POST", "/search")
+    def search(request: Request) -> Response:
+        matrix = _parse_descriptors(request.body, d)
+        top = int(request.body.get("top", 1))
+        if not (1 <= top <= 100):
+            raise RestError(400, "'top' must be in [1, 100]")
+        result = system.search(matrix)
+        return Response(
+            200,
+            {
+                "results": [
+                    {"id": m.reference_id, "score": m.score, "good_matches": m.good_matches}
+                    for m in result.top(top)
+                ],
+                "images_searched": result.images_searched,
+                "elapsed_us": result.elapsed_us,
+                "throughput_images_per_s": result.throughput_images_per_s,
+            },
+        )
+
+    @router.route("GET", "/stats")
+    def stats(request: Request) -> Response:
+        return Response(200, system.stats())
+
+    return router

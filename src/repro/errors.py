@@ -1,0 +1,78 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every subsystem raises exceptions derived from :class:`ReproError` so that
+callers can catch library failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class DeviceError(ReproError):
+    """Base class for simulated-GPU errors."""
+
+
+class DeviceOutOfMemoryError(DeviceError):
+    """Raised when a device allocation exceeds the remaining capacity.
+
+    Mirrors ``cudaErrorMemoryAllocation``: the allocation that triggered the
+    failure is reported together with the pool state so capacity-planning
+    bugs are diagnosable.
+    """
+
+    def __init__(self, requested: int, free: int, total: int) -> None:
+        self.requested = int(requested)
+        self.free = int(free)
+        self.total = int(total)
+        super().__init__(
+            f"device out of memory: requested {requested} B, "
+            f"free {free} B of {total} B"
+        )
+
+
+class InvalidStreamError(DeviceError):
+    """Raised when an operation references a stream of another device."""
+
+
+class HalfPrecisionOverflowError(ReproError):
+    """Raised when an FP16 conversion would overflow ``float16`` range.
+
+    The paper (Table 2) marks scale factors ``1`` and ``2^-1`` as
+    "overflow"; this exception is how the library surfaces that condition.
+    """
+
+    def __init__(self, scale: float, max_value: float) -> None:
+        self.scale = float(scale)
+        self.max_value = float(max_value)
+        super().__init__(
+            f"FP16 overflow with scale factor {scale!r}: "
+            f"largest intermediate magnitude {max_value:.6g} exceeds "
+            f"float16 max (65504)"
+        )
+
+
+class CacheError(ReproError):
+    """Base class for hybrid-cache errors."""
+
+
+class CacheCapacityError(CacheError):
+    """Raised when an entry cannot fit even after evicting everything."""
+
+
+class SerializationError(ReproError):
+    """Raised when the wire format cannot decode a message."""
+
+
+class ClusterError(ReproError):
+    """Raised for distributed-system failures (missing shard, bad node)."""
+
+
+class RestError(ReproError):
+    """Raised by the REST layer; carries an HTTP-like status code."""
+
+    def __init__(self, status: int, message: str) -> None:
+        self.status = int(status)
+        super().__init__(message)

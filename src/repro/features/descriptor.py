@@ -1,0 +1,132 @@
+"""SIFT descriptor computation (Lowe Sec. 6).
+
+For each oriented keypoint, gradients in a rotated, scale-normalised
+16x16 window are pooled into a 4x4 grid of 8-bin orientation histograms
+with trilinear interpolation, Gaussian-weighted, illumination-
+normalised (clip at 0.2 and renormalise), and finally scaled so the
+descriptor's L2 norm is 512 — the OpenCV convention the paper's FP16
+scale-factor analysis assumes (a 512-norm makes the worst-case dot
+product 512^2 = 262,144, which is why scale 2^-1 overflows FP16 and
+2^-2 does not; Table 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gaussian import GaussianPyramid
+from .keypoints import Keypoint
+from .orientation import image_gradients
+
+__all__ = ["compute_descriptors", "DESCRIPTOR_DIM", "DESCRIPTOR_L2_NORM"]
+
+GRID = 4  # 4x4 spatial cells
+ORI_BINS = 8
+DESCRIPTOR_DIM = GRID * GRID * ORI_BINS  # 128
+DESCRIPTOR_L2_NORM = 512.0
+CLIP = 0.2
+
+
+def _descriptor_for(
+    magnitude: np.ndarray,
+    angle: np.ndarray,
+    cx: float,
+    cy: float,
+    octave_sigma: float,
+    orientation: float,
+) -> np.ndarray | None:
+    """One 128-D descriptor, or ``None`` if the window leaves the image."""
+    h, w = magnitude.shape
+    hist_width = 3.0 * octave_sigma  # pixels per descriptor cell
+    # Window radius covering the rotated 4x4 grid (+0.5 for interpolation).
+    radius = int(np.round(hist_width * np.sqrt(2.0) * (GRID + 1) * 0.5))
+    radius = min(radius, int(np.hypot(h, w)))
+    x0, x1 = int(cx) - radius, int(cx) + radius + 1
+    y0, y1 = int(cy) - radius, int(cy) + radius + 1
+    if x0 < 0 or y0 < 0 or x1 > w or y1 > h:
+        return None
+
+    ys, xs = np.mgrid[y0:y1, x0:x1]
+    dx = xs - cx
+    dy = ys - cy
+    cos_t = np.cos(orientation)
+    sin_t = np.sin(orientation)
+    # Rotate into the keypoint frame and express in cell units, offset
+    # so that (r, c) = (0, 0) is the top-left interior cell corner.
+    r_rot = (-sin_t * dx + cos_t * dy) / hist_width + GRID / 2 - 0.5
+    c_rot = (cos_t * dx + sin_t * dy) / hist_width + GRID / 2 - 0.5
+    inside = (r_rot > -1) & (r_rot < GRID) & (c_rot > -1) & (c_rot < GRID)
+    if not np.any(inside):
+        return None
+
+    r_rot = r_rot[inside]
+    c_rot = c_rot[inside]
+    mag = magnitude[y0:y1, x0:x1][inside]
+    ang = (angle[y0:y1, x0:x1][inside] - orientation) % (2.0 * np.pi)
+    # Gaussian window over the whole descriptor, sigma = half its width.
+    weight = np.exp(-(r_rot - GRID / 2 + 0.5) ** 2 / (2 * (0.5 * GRID) ** 2)
+                    - (c_rot - GRID / 2 + 0.5) ** 2 / (2 * (0.5 * GRID) ** 2))
+    mag = mag * weight
+
+    o = ang / (2.0 * np.pi) * ORI_BINS
+    r0 = np.floor(r_rot).astype(np.int64)
+    c0 = np.floor(c_rot).astype(np.int64)
+    o0 = np.floor(o).astype(np.int64)
+    fr = r_rot - r0
+    fc = c_rot - c0
+    fo = o - o0
+
+    hist = np.zeros((GRID + 2, GRID + 2, ORI_BINS), dtype=np.float64)
+    # Trilinear scatter: 8 corner contributions, fully vectorised via
+    # np.add.at on flattened indices.
+    for dr in (0, 1):
+        wr = mag * (fr if dr else (1.0 - fr))
+        rr = r0 + dr + 1  # +1: histogram has a border ring
+        for dc in (0, 1):
+            wc = wr * (fc if dc else (1.0 - fc))
+            cc = c0 + dc + 1
+            for do in (0, 1):
+                wo = wc * (fo if do else (1.0 - fo))
+                oo = (o0 + do) % ORI_BINS
+                np.add.at(hist, (rr, cc, oo), wo)
+    desc = hist[1 : GRID + 1, 1 : GRID + 1, :].reshape(DESCRIPTOR_DIM)
+
+    norm = np.linalg.norm(desc)
+    if norm < 1e-12:
+        return None
+    desc = np.minimum(desc / norm, CLIP)
+    norm = np.linalg.norm(desc)
+    if norm < 1e-12:
+        return None
+    return (desc / norm * DESCRIPTOR_L2_NORM).astype(np.float32)
+
+
+def compute_descriptors(
+    pyramid: GaussianPyramid,
+    keypoints: list[Keypoint],
+) -> tuple[np.ndarray, list[Keypoint]]:
+    """Descriptors for ``keypoints``.
+
+    Returns ``(D, kept)`` where ``D`` is ``(d, count)`` with descriptors
+    stored column-wise (the layout Algorithm 1 expects) and ``kept``
+    lists the keypoints that yielded a descriptor (window fully inside
+    the image).
+    """
+    grad_cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    columns: list[np.ndarray] = []
+    kept: list[Keypoint] = []
+    for kp in keypoints:
+        layer = int(np.clip(kp.layer, 0, len(pyramid.octaves[kp.octave]) - 1))
+        key = (kp.octave, layer)
+        if key not in grad_cache:
+            grad_cache[key] = image_gradients(pyramid.octaves[kp.octave][layer])
+        magnitude, angle = grad_cache[key]
+        cx, cy = kp.scaled_to_octave(kp.octave)
+        octave_sigma = kp.sigma / (2.0**kp.octave)
+        desc = _descriptor_for(magnitude, angle, cx, cy, octave_sigma, kp.orientation)
+        if desc is not None:
+            columns.append(desc)
+            kept.append(kp)
+    if not columns:
+        return np.zeros((DESCRIPTOR_DIM, 0), dtype=np.float32), []
+    return np.stack(columns, axis=1), kept

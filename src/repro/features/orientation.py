@@ -1,0 +1,113 @@
+"""Keypoint orientation assignment (Lowe Sec. 5).
+
+A 36-bin gradient-orientation histogram is accumulated in a Gaussian-
+weighted window around each keypoint; every peak within 80 % of the
+maximum spawns an oriented copy of the keypoint, with the peak position
+refined by parabolic interpolation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .gaussian import GaussianPyramid
+from .keypoints import Keypoint
+
+__all__ = ["image_gradients", "assign_orientations", "orientation_histogram"]
+
+N_BINS = 36
+PEAK_RATIO = 0.8
+
+
+def image_gradients(image: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Central-difference gradient magnitude and angle (radians, [0, 2pi))."""
+    image = np.asarray(image, dtype=np.float32)
+    dy = np.empty_like(image)
+    dx = np.empty_like(image)
+    dy[1:-1, :] = (image[2:, :] - image[:-2, :]) / 2.0
+    dy[0, :] = image[1, :] - image[0, :]
+    dy[-1, :] = image[-1, :] - image[-2, :]
+    dx[:, 1:-1] = (image[:, 2:] - image[:, :-2]) / 2.0
+    dx[:, 0] = image[:, 1] - image[:, 0]
+    dx[:, -1] = image[:, -1] - image[:, -2]
+    magnitude = np.hypot(dx, dy)
+    angle = np.mod(np.arctan2(dy, dx), 2.0 * np.pi)
+    return magnitude, angle
+
+
+def orientation_histogram(
+    magnitude: np.ndarray,
+    angle: np.ndarray,
+    cx: float,
+    cy: float,
+    sigma: float,
+    n_bins: int = N_BINS,
+) -> np.ndarray:
+    """Gaussian-weighted orientation histogram around ``(cx, cy)``.
+
+    Window radius is ``3 * 1.5 * sigma`` as in Lowe; the histogram is
+    smoothed with a [1,1,1]/3 circular box filter twice to suppress
+    quantisation spikes.
+    """
+    h, w = magnitude.shape
+    weight_sigma = 1.5 * sigma
+    radius = max(1, int(np.round(3.0 * weight_sigma)))
+    x0, x1 = max(0, int(cx) - radius), min(w, int(cx) + radius + 1)
+    y0, y1 = max(0, int(cy) - radius), min(h, int(cy) + radius + 1)
+    if x0 >= x1 or y0 >= y1:
+        return np.zeros(n_bins, dtype=np.float64)
+    ys, xs = np.mgrid[y0:y1, x0:x1]
+    d2 = (xs - cx) ** 2 + (ys - cy) ** 2
+    mask = d2 <= radius * radius
+    weights = np.exp(-d2 / (2.0 * weight_sigma**2)) * magnitude[y0:y1, x0:x1]
+    bins = np.floor(angle[y0:y1, x0:x1] / (2.0 * np.pi) * n_bins).astype(np.int64) % n_bins
+    hist = np.bincount(bins[mask].ravel(), weights=weights[mask].ravel(), minlength=n_bins)
+    for _ in range(2):
+        hist = (np.roll(hist, 1) + hist + np.roll(hist, -1)) / 3.0
+    return hist
+
+
+def _interpolate_peak(hist: np.ndarray, peak: int) -> float:
+    """Parabolic sub-bin refinement of a histogram peak; returns the
+    orientation in radians."""
+    n = len(hist)
+    left = hist[(peak - 1) % n]
+    right = hist[(peak + 1) % n]
+    denom = left - 2.0 * hist[peak] + right
+    delta = 0.0 if abs(denom) < 1e-12 else 0.5 * (left - right) / denom
+    return ((peak + 0.5 + delta) / n) * 2.0 * np.pi % (2.0 * np.pi)
+
+
+def assign_orientations(
+    pyramid: GaussianPyramid,
+    keypoints: list[Keypoint],
+    max_orientations: int = 2,
+) -> list[Keypoint]:
+    """Return oriented keypoints (a keypoint may appear multiple times).
+
+    Gradients are computed on the Gaussian image closest to each
+    keypoint's scale, in its own octave's pixel grid.
+    """
+    # Cache gradients per (octave, layer) — keypoints cluster on few layers.
+    grad_cache: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    oriented: list[Keypoint] = []
+    for kp in keypoints:
+        layer = int(np.clip(kp.layer, 0, len(pyramid.octaves[kp.octave]) - 1))
+        key = (kp.octave, layer)
+        if key not in grad_cache:
+            grad_cache[key] = image_gradients(pyramid.octaves[kp.octave][layer])
+        magnitude, angle = grad_cache[key]
+        cx, cy = kp.scaled_to_octave(kp.octave)
+        octave_sigma = kp.sigma / (2.0**kp.octave)
+        hist = orientation_histogram(magnitude, angle, cx, cy, octave_sigma)
+        if hist.max() <= 0:
+            continue
+        threshold = PEAK_RATIO * hist.max()
+        n = len(hist)
+        is_peak = (hist >= np.roll(hist, 1)) & (hist > np.roll(hist, -1)) & (hist >= threshold)
+        peaks = np.flatnonzero(is_peak)
+        # Strongest peaks first, capped.
+        peaks = peaks[np.argsort(hist[peaks])[::-1][:max_orientations]]
+        for peak in peaks:
+            oriented.append(kp.with_orientation(_interpolate_peak(hist, int(peak))))
+    return oriented

@@ -1,0 +1,63 @@
+"""Response-ranked feature selection (asymmetric extraction, Sec. 7).
+
+The paper keeps the strongest ``m`` features for *reference* images and
+a larger ``n`` for *query* images, halving the cached feature-matrix
+size with negligible accuracy loss (Table 7).  Selection is by detector
+response (|DoG| value), the same ranking OpenCV's ``nfeatures`` uses.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .keypoints import Keypoint
+
+__all__ = ["select_top_features", "pad_or_trim"]
+
+
+def select_top_features(
+    descriptors: np.ndarray,
+    keypoints: list[Keypoint],
+    count: int,
+) -> tuple[np.ndarray, list[Keypoint]]:
+    """Keep the ``count`` strongest features by response.
+
+    ``descriptors`` is ``(d, total)`` column-aligned with ``keypoints``.
+    Output preserves descending-response order (ties broken by original
+    index for determinism).
+    """
+    descriptors = np.asarray(descriptors)
+    if descriptors.ndim != 2 or descriptors.shape[1] != len(keypoints):
+        raise ValueError(
+            f"descriptors {descriptors.shape} do not align with {len(keypoints)} keypoints"
+        )
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    responses = np.array([k.response for k in keypoints])
+    # Stable argsort on -response keeps original order among ties.  The
+    # output is *always* response-descending, even under budget — the
+    # engine trims cached matrices by slicing leading columns, so the
+    # ranking must be baked into the column order.
+    order = np.argsort(-responses, kind="stable")[:count]
+    return descriptors[:, order], [keypoints[i] for i in order]
+
+
+def pad_or_trim(descriptors: np.ndarray, count: int) -> np.ndarray:
+    """Force a ``(d, count)`` matrix by truncation or zero-padding.
+
+    The batched engine requires uniform reference-matrix shapes
+    (Fig. 3); images with fewer detected features are zero-padded.
+    Zero columns have maximal distance to every (unit-norm RootSIFT)
+    query feature, so padding never creates spurious matches.
+    """
+    descriptors = np.asarray(descriptors, dtype=np.float32)
+    if descriptors.ndim != 2:
+        raise ValueError(f"expected (d, count), got {descriptors.shape}")
+    d, have = descriptors.shape
+    if have == count:
+        return descriptors
+    if have > count:
+        return descriptors[:, :count]
+    out = np.zeros((d, count), dtype=np.float32)
+    out[:, :have] = descriptors
+    return out

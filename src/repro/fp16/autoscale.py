@@ -1,0 +1,80 @@
+"""Scale-factor selection.
+
+The paper observes (Table 2) a wide plateau of safe scale factors
+(2^-2 .. 2^-12 for raw SIFT) and fixes 2^-7 in practice.  This module
+automates the choice: given a sample of feature matrices it finds the
+largest power-of-two scale that cannot overflow, then backs off a safety
+margin toward the middle of the plateau.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .convert import FP16_MAX
+
+__all__ = ["AutoscaleResult", "choose_scale_factor", "max_safe_scale"]
+
+
+@dataclass(frozen=True)
+class AutoscaleResult:
+    """Outcome of :func:`choose_scale_factor`."""
+
+    scale: float
+    log2_scale: int
+    max_dot: float
+    max_norm: float
+    headroom_bits: int
+
+
+def _max_quantities(samples: list[np.ndarray]) -> tuple[float, float]:
+    """Worst-case dot product and squared norm over sample features.
+
+    The worst dot product between any two unit-direction-compatible
+    descriptors is bounded by the product of the two largest norms
+    (Cauchy-Schwarz); for identical images (the matching case that
+    actually occurs in identification) the bound is attained, so it is
+    the right overflow predictor.
+    """
+    max_norm = 0.0
+    for f in samples:
+        f = np.asarray(f, dtype=np.float64)
+        if f.ndim != 2:
+            raise ValueError(f"feature matrices must be 2-D, got {f.shape}")
+        if f.size == 0:
+            continue
+        norms = np.einsum("dc,dc->c", f, f)
+        max_norm = max(max_norm, float(norms.max()))
+    return max_norm, max_norm  # max dot == max squared norm at equality
+
+
+def max_safe_scale(samples: list[np.ndarray]) -> float:
+    """Largest scale ``s`` with ``s^2 * max_dot <= FP16_MAX``."""
+    max_dot, _ = _max_quantities(samples)
+    if max_dot <= 0:
+        return 1.0
+    return float(np.sqrt(FP16_MAX / max_dot))
+
+
+def choose_scale_factor(samples: list[np.ndarray], margin_bits: int = 5) -> AutoscaleResult:
+    """Pick a power-of-two scale factor with ``margin_bits`` of headroom.
+
+    ``margin_bits=5`` reproduces the paper's practical choice: for
+    512-normalized SIFT the safe boundary is 2^-2 and the paper ships
+    2^-7.
+    """
+    if margin_bits < 0:
+        raise ValueError("margin_bits must be non-negative")
+    max_dot, max_norm = _max_quantities(samples)
+    safe = max_safe_scale(samples)
+    log2_safe = int(np.floor(np.log2(safe))) if safe > 0 else 0
+    log2_scale = log2_safe - margin_bits
+    return AutoscaleResult(
+        scale=float(2.0**log2_scale),
+        log2_scale=log2_scale,
+        max_dot=max_dot,
+        max_norm=max_norm,
+        headroom_bits=margin_bits,
+    )

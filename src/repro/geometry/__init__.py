@@ -1,0 +1,19 @@
+"""Geometric verification substrate: similarity/homography estimation
+and RANSAC inlier counting (Fig. 2's final pipeline stage)."""
+
+from .homography import (
+    apply_homography,
+    apply_similarity,
+    estimate_homography,
+    estimate_similarity,
+)
+from .ransac import RansacResult, ransac_verify
+
+__all__ = [
+    "RansacResult",
+    "apply_homography",
+    "apply_similarity",
+    "estimate_homography",
+    "estimate_similarity",
+    "ransac_verify",
+]

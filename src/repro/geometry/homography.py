@@ -1,0 +1,90 @@
+"""Planar transform estimation for geometric verification.
+
+The tea-brick surfaces are planar, so matched keypoints between two
+images of the same brick relate by (approximately) a similarity or
+homography.  These estimators are the least-squares building blocks the
+RANSAC loop (``ransac.py``) resamples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["estimate_similarity", "estimate_homography", "apply_similarity", "apply_homography"]
+
+
+def _check_points(src: np.ndarray, dst: np.ndarray, minimum: int) -> tuple[np.ndarray, np.ndarray]:
+    src = np.asarray(src, dtype=np.float64)
+    dst = np.asarray(dst, dtype=np.float64)
+    if src.ndim != 2 or src.shape[1] != 2 or src.shape != dst.shape:
+        raise ValueError(f"need matching (n, 2) point arrays, got {src.shape} / {dst.shape}")
+    if src.shape[0] < minimum:
+        raise ValueError(f"need at least {minimum} correspondences, got {src.shape[0]}")
+    return src, dst
+
+
+def estimate_similarity(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """Least-squares similarity transform (scale + rotation + shift).
+
+    Returns a 2x3 matrix ``M`` with ``dst ~= src @ M[:, :2].T + M[:, 2]``.
+    Solved in closed form (Umeyama without reflection handling —
+    texture captures never mirror).
+    """
+    src, dst = _check_points(src, dst, 2)
+    mu_s = src.mean(axis=0)
+    mu_d = dst.mean(axis=0)
+    s_c = src - mu_s
+    d_c = dst - mu_d
+    var_s = float((s_c**2).sum())
+    if var_s < 1e-12:
+        raise ValueError("degenerate source points (zero variance)")
+    # Complex-number form: similarity = (sum conj(s) * d) / sum |s|^2.
+    s_z = s_c[:, 0] + 1j * s_c[:, 1]
+    d_z = d_c[:, 0] + 1j * d_c[:, 1]
+    coeff = np.vdot(s_z, d_z) / var_s  # vdot conjugates the first arg
+    a, b = coeff.real, coeff.imag
+    rot = np.array([[a, -b], [b, a]])
+    t = mu_d - rot @ mu_s
+    return np.hstack([rot, t[:, None]])
+
+
+def apply_similarity(matrix: np.ndarray, points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=np.float64)
+    return points @ matrix[:, :2].T + matrix[:, 2]
+
+
+def estimate_homography(src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+    """DLT homography (normalised), ``dst ~ H @ src`` homogeneous."""
+    src, dst = _check_points(src, dst, 4)
+
+    def normalise(pts: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        mu = pts.mean(axis=0)
+        centred = pts - mu
+        scale = np.sqrt(2.0) / max(np.mean(np.linalg.norm(centred, axis=1)), 1e-12)
+        t = np.array([[scale, 0, -scale * mu[0]], [0, scale, -scale * mu[1]], [0, 0, 1]])
+        homog = np.hstack([pts, np.ones((len(pts), 1))])
+        return (t @ homog.T).T, t
+
+    s_n, t_s = normalise(src)
+    d_n, t_d = normalise(dst)
+    n = len(src)
+    a = np.zeros((2 * n, 9))
+    a[0::2, 0:3] = s_n
+    a[0::2, 6:9] = -d_n[:, 0:1] * s_n
+    a[1::2, 3:6] = s_n
+    a[1::2, 6:9] = -d_n[:, 1:2] * s_n
+    _, _, vt = np.linalg.svd(a)
+    h = vt[-1].reshape(3, 3)
+    h = np.linalg.inv(t_d) @ h @ t_s
+    if abs(h[2, 2]) < 1e-12:
+        raise ValueError("degenerate homography")
+    return h / h[2, 2]
+
+
+def apply_homography(h: np.ndarray, points: np.ndarray) -> np.ndarray:
+    points = np.asarray(points, dtype=np.float64)
+    homog = np.hstack([points, np.ones((len(points), 1))])
+    mapped = (h @ homog.T).T
+    w = mapped[:, 2:3]
+    w = np.where(np.abs(w) < 1e-12, 1e-12, w)
+    return mapped[:, :2] / w

@@ -1,0 +1,85 @@
+"""RANSAC geometric verification (the final stage of Fig. 2).
+
+Ratio-test matches still contain outliers; geometric verification fits
+a planar transform to the matched keypoint pairs and counts inliers.
+Only when the inlier count clears a threshold are two images declared
+the same texture.  The paper excludes this stage from its *speed*
+experiments ("no geometrical verification is conducted", Sec. 4.1) but
+it is part of the identification pipeline, so examples and the accuracy
+path use it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .homography import apply_homography, apply_similarity, estimate_homography, estimate_similarity
+
+__all__ = ["RansacResult", "ransac_verify"]
+
+_MIN_SAMPLES = {"similarity": 2, "homography": 4}
+
+
+@dataclass
+class RansacResult:
+    """Outcome of one verification."""
+
+    inliers: int
+    total: int
+    model: np.ndarray | None
+    inlier_mask: np.ndarray
+
+    @property
+    def inlier_ratio(self) -> float:
+        return self.inliers / self.total if self.total else 0.0
+
+
+def ransac_verify(
+    src_points: np.ndarray,
+    dst_points: np.ndarray,
+    model: str = "similarity",
+    threshold: float = 3.0,
+    iterations: int = 200,
+    seed: int | None = 0,
+) -> RansacResult:
+    """Fit ``model`` ("similarity" or "homography") robustly.
+
+    ``threshold`` is the inlier reprojection distance in pixels.  The
+    final model is re-estimated on the best consensus set.
+    """
+    if model not in _MIN_SAMPLES:
+        raise ValueError(f"model must be one of {sorted(_MIN_SAMPLES)}, got {model!r}")
+    src = np.asarray(src_points, dtype=np.float64)
+    dst = np.asarray(dst_points, dtype=np.float64)
+    if src.shape != dst.shape or src.ndim != 2 or src.shape[1] != 2:
+        raise ValueError(f"need matching (n, 2) arrays, got {src.shape} / {dst.shape}")
+    n = src.shape[0]
+    min_samples = _MIN_SAMPLES[model]
+    if n < min_samples:
+        return RansacResult(0, n, None, np.zeros(n, dtype=bool))
+
+    estimate = estimate_similarity if model == "similarity" else estimate_homography
+    project = apply_similarity if model == "similarity" else apply_homography
+
+    rng = np.random.default_rng(seed)
+    best_mask = np.zeros(n, dtype=bool)
+    for _ in range(iterations):
+        sample = rng.choice(n, size=min_samples, replace=False)
+        try:
+            candidate = estimate(src[sample], dst[sample])
+        except (ValueError, np.linalg.LinAlgError):
+            continue
+        err = np.linalg.norm(project(candidate, src) - dst, axis=1)
+        mask = err < threshold
+        if mask.sum() > best_mask.sum():
+            best_mask = mask
+            if best_mask.sum() == n:
+                break
+    if best_mask.sum() < min_samples:
+        return RansacResult(0, n, None, np.zeros(n, dtype=bool))
+    refined = estimate(src[best_mask], dst[best_mask])
+    err = np.linalg.norm(project(refined, src) - dst, axis=1)
+    final_mask = err < threshold
+    return RansacResult(int(final_mask.sum()), n, refined, final_mask)

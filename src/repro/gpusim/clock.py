@@ -1,0 +1,55 @@
+"""Simulated time base.
+
+The simulator measures everything in microseconds (``us``), the unit the
+paper's tables use.  :class:`SimClock` is a monotonically advancing
+watermark shared by all engines of one device (and, in the distributed
+system, by all devices of one node).
+"""
+
+from __future__ import annotations
+
+__all__ = ["SimClock", "us_to_s", "s_to_us"]
+
+
+def us_to_s(us: float) -> float:
+    """Convert simulated microseconds to seconds."""
+    return us * 1e-6
+
+
+def s_to_us(seconds: float) -> float:
+    """Convert seconds to simulated microseconds."""
+    return seconds * 1e6
+
+
+class SimClock:
+    """A monotone simulated clock.
+
+    ``now`` is the latest completion time observed anywhere on the
+    device.  Engines advance it via :meth:`advance_to`; it never moves
+    backwards (attempting to do so is a no-op, not an error, because
+    independent engines complete out of order).
+    """
+
+    __slots__ = ("_now_us",)
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        if start_us < 0:
+            raise ValueError("clock cannot start before t=0")
+        self._now_us = float(start_us)
+
+    @property
+    def now_us(self) -> float:
+        return self._now_us
+
+    def advance_to(self, t_us: float) -> float:
+        """Move the watermark to ``t_us`` if it is later; return ``now``."""
+        if t_us > self._now_us:
+            self._now_us = float(t_us)
+        return self._now_us
+
+    def reset(self) -> None:
+        """Rewind to t=0 (used between independent experiments)."""
+        self._now_us = 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"SimClock(now={self._now_us:.3f}us)"

@@ -1,0 +1,140 @@
+"""Device specifications for the simulated GPUs.
+
+The paper measures on Nvidia Tesla P100 and V100 cards.  We reproduce on a
+machine without GPUs, so the hardware is replaced by an analytic timing
+model (see :mod:`repro.gpusim.kernels`) parameterised by the published
+datasheet numbers collected here.  The functional results of every kernel
+are still computed exactly with NumPy; only *time* is simulated.
+
+All bandwidth figures are in GB/s (1e9 bytes per second) and all peak
+throughput figures in TFLOPS (1e12 FLOP/s), matching the units the paper
+uses in Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+__all__ = ["DeviceSpec", "TESLA_P100", "TESLA_V100", "TESLA_A100", "get_device_spec", "DEVICE_REGISTRY"]
+
+GIB = 1024**3
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of one GPU model.
+
+    Attributes
+    ----------
+    name:
+        Marketing name, e.g. ``"Tesla P100"``.
+    sm_count:
+        Number of streaming multiprocessors; scales the saturation point
+        of latency-bound kernels such as the top-2 scan.
+    fp32_tflops / fp16_tflops / tensor_tflops:
+        Peak arithmetic throughput.  ``tensor_tflops`` is 0 when the card
+        has no tensor cores (P100).
+    mem_bandwidth_gbs:
+        Peak device (HBM) memory bandwidth.
+    mem_bytes:
+        Total device memory.
+    pcie_pinned_gbs:
+        *Measured* host-to-device bandwidth with pinned memory.  The paper
+        reports 9.4 GB/s for PCIe Gen3 x16 in their cloud VMs (Sec. 6.1),
+        well under the 16 GB/s link peak.
+    host_memcpy_gbs:
+        Host-side staging copy bandwidth; pageable transfers pay an extra
+        copy through a pinned staging buffer at this rate (Sec. 6.1,
+        Table 5 "w/o pinned memory").
+    pcie_latency_us:
+        Fixed cost of initiating one DMA transfer.
+    kernel_launch_us:
+        Fixed cost of launching one kernel.
+    """
+
+    name: str
+    sm_count: int
+    fp32_tflops: float
+    fp16_tflops: float
+    tensor_tflops: float
+    mem_bandwidth_gbs: float
+    mem_bytes: int
+    pcie_pinned_gbs: float = 9.4
+    host_memcpy_gbs: float = 12.5
+    pcie_latency_us: float = 10.0
+    kernel_launch_us: float = 4.0
+
+    def peak_tflops(self, dtype: str, tensor_core: bool = False) -> float:
+        """Peak arithmetic throughput for ``dtype`` ("fp16"/"fp32").
+
+        ``tensor_core=True`` selects the tensor-core peak and is only
+        valid for FP16 on cards that have tensor cores.
+        """
+        if tensor_core:
+            if self.tensor_tflops <= 0:
+                raise ValueError(f"{self.name} has no tensor cores")
+            if dtype != "fp16":
+                raise ValueError("tensor cores require fp16 operands")
+            return self.tensor_tflops
+        if dtype == "fp16":
+            return self.fp16_tflops
+        if dtype == "fp32":
+            return self.fp32_tflops
+        raise ValueError(f"unknown dtype {dtype!r}")
+
+    def with_memory(self, mem_bytes: int) -> "DeviceSpec":
+        """Return a copy of this spec with a different memory size."""
+        return replace(self, mem_bytes=int(mem_bytes))
+
+
+#: Pascal GP100: 56 SMs, 9.3 FP32 / 18.7 FP16 TFLOPS, 732 GB/s HBM2,
+#: no tensor cores.  16 GB variant as used throughout the paper.
+TESLA_P100 = DeviceSpec(
+    name="Tesla P100",
+    sm_count=56,
+    fp32_tflops=9.3,
+    fp16_tflops=18.7,
+    tensor_tflops=0.0,
+    mem_bandwidth_gbs=732.0,
+    mem_bytes=16 * GIB,
+)
+
+#: Volta GV100: 80 SMs, 14 FP32 / 28 FP16 / 112 tensor TFLOPS, 900 GB/s.
+TESLA_V100 = DeviceSpec(
+    name="Tesla V100",
+    sm_count=80,
+    fp32_tflops=14.0,
+    fp16_tflops=28.0,
+    tensor_tflops=112.0,
+    mem_bandwidth_gbs=900.0,
+    mem_bytes=16 * GIB,
+)
+
+#: Ampere GA100 (mentioned by the paper as an FP16-capable card); included
+#: for forward-looking experiments only.
+TESLA_A100 = DeviceSpec(
+    name="Tesla A100",
+    sm_count=108,
+    fp32_tflops=19.5,
+    fp16_tflops=78.0,
+    tensor_tflops=312.0,
+    mem_bandwidth_gbs=1555.0,
+    mem_bytes=40 * GIB,
+    pcie_pinned_gbs=20.0,
+)
+
+DEVICE_REGISTRY: dict[str, DeviceSpec] = {
+    "p100": TESLA_P100,
+    "v100": TESLA_V100,
+    "a100": TESLA_A100,
+}
+
+
+def get_device_spec(name: str) -> DeviceSpec:
+    """Look up a device spec by short name (``"p100"``, ``"v100"``, ...)."""
+    key = name.strip().lower().replace("tesla ", "").replace("-", "")
+    try:
+        return DEVICE_REGISTRY[key]
+    except KeyError:
+        known = ", ".join(sorted(DEVICE_REGISTRY))
+        raise KeyError(f"unknown device {name!r}; known devices: {known}") from None

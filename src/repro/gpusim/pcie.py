@@ -1,0 +1,67 @@
+"""PCIe transfer time model.
+
+The hybrid cache (Sec. 6) streams reference feature matrices from host
+memory across PCIe Gen3 x16.  The paper measures ~9.4 GB/s with pinned
+memory (vs. the 16 GB/s link peak) and a large further penalty without
+pinned memory, which it attributes to the extra host-side staging copy.
+This module models both, plus the fixed DMA initiation latency that
+dominates small transfers (Table 1's step-8 copy of a 9 KB result takes
+47 us — almost pure latency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .device import DeviceSpec
+
+__all__ = ["TransferModel", "h2d_time_us", "d2h_result_time_us"]
+
+
+@dataclass(frozen=True)
+class TransferModel:
+    """Bandwidth/latency pair: ``t = latency + bytes / bandwidth``."""
+
+    latency_us: float
+    bandwidth_gbs: float
+
+    def time_us(self, nbytes: int) -> float:
+        if nbytes < 0:
+            raise ValueError("transfer size must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency_us + nbytes / (self.bandwidth_gbs * 1e9) * 1e6
+
+
+def effective_h2d_bandwidth_gbs(spec: DeviceSpec, pinned: bool) -> float:
+    """Effective host-to-device bandwidth.
+
+    Pinned: the measured DMA rate.  Pageable: the DMA is preceded by a
+    host memcpy into a pinned staging buffer, so the effective rate is
+    the harmonic combination of the two (the copies cannot overlap for a
+    single buffer) — this reproduces Table 5's w/o-pinned slowdown.
+    """
+    if pinned:
+        return spec.pcie_pinned_gbs
+    return 1.0 / (1.0 / spec.pcie_pinned_gbs + 1.0 / spec.host_memcpy_gbs)
+
+
+def h2d_time_us(spec: DeviceSpec, nbytes: int, pinned: bool = True) -> float:
+    """Time to move ``nbytes`` of feature data host -> device."""
+    model = TransferModel(spec.pcie_latency_us, effective_h2d_bandwidth_gbs(spec, pinned))
+    return model.time_us(nbytes)
+
+
+def d2h_result_time_us(
+    spec: DeviceSpec,
+    nbytes: int,
+    latency_us: float,
+    bandwidth_gbs: float,
+) -> float:
+    """Time for the step-8 device -> host result gather.
+
+    The top-2 distance rows and index rows live strided inside the big
+    similarity matrix, so this copy achieves far less than link peak;
+    the calibration (Table 1/3 anchors) supplies the effective numbers.
+    """
+    return TransferModel(latency_us, bandwidth_gbs).time_us(nbytes)

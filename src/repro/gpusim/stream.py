@@ -1,0 +1,61 @@
+"""CUDA-style streams and events for the simulated device.
+
+A stream is an in-order queue: operation *i+1* of a stream cannot start
+before operation *i* finishes, even if the engines it needs are free.
+Different streams are independent except where they contend for the same
+engine or are ordered through events — exactly the semantics the paper's
+Sec. 6.2 relies on to overlap PCIe transfers and compute.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+__all__ = ["Stream", "Event"]
+
+
+@dataclass
+class Event:
+    """A recorded timestamp usable for cross-stream ordering."""
+
+    name: str = ""
+    time_us: Optional[float] = None
+
+    @property
+    def is_recorded(self) -> bool:
+        return self.time_us is not None
+
+
+class Stream:
+    """An in-order execution queue on one simulated device."""
+
+    _counter = 0
+
+    def __init__(self, device_id: int, name: str = "") -> None:
+        Stream._counter += 1
+        self.stream_id = Stream._counter
+        self.device_id = device_id
+        self.name = name or f"stream{self.stream_id}"
+        #: simulated time at which the last enqueued op completes.
+        self.ready_at_us = 0.0
+        #: number of operations executed (for tests / profiling).
+        self.ops_issued = 0
+
+    def record_event(self, event: Event | None = None) -> Event:
+        """Record ``event`` (or a fresh one) at the stream's current tail."""
+        if event is None:
+            event = Event(name=f"{self.name}-ev")
+        event.time_us = self.ready_at_us
+        return event
+
+    def wait_event(self, event: Event) -> None:
+        """Block subsequent ops on this stream until ``event`` fires."""
+        if not event.is_recorded:
+            raise ValueError(f"event {event.name!r} has not been recorded")
+        assert event.time_us is not None
+        if event.time_us > self.ready_at_us:
+            self.ready_at_us = event.time_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Stream({self.name!r}, ready_at={self.ready_at_us:.2f}us)"

@@ -1,0 +1,24 @@
+"""Multi-stream scheduling substrate: the Table-6 overlap model and the
+CPU-thread partitioning helpers."""
+
+from .event_sim import EventSimResult, simulate_stream_pipeline
+from .scheduler import (
+    FIXED_OVERHEAD_BYTES,
+    StreamPlan,
+    batch_component_times,
+    plan_streams,
+    stream_extra_gpu_bytes,
+)
+from .worker import interleave_schedules, partition_equally
+
+__all__ = [
+    "EventSimResult",
+    "FIXED_OVERHEAD_BYTES",
+    "StreamPlan",
+    "simulate_stream_pipeline",
+    "batch_component_times",
+    "interleave_schedules",
+    "partition_equally",
+    "plan_streams",
+    "stream_extra_gpu_bytes",
+]

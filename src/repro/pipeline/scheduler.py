@@ -1,0 +1,160 @@
+"""Multi-stream overlap model (Sec. 6.2, Table 6).
+
+The paper dedicates one CPU thread + one CUDA stream to each equal
+slice of the host-resident reference batches.  Within a thread the
+cycle per batch is H2D -> kernels -> D2H (issued synchronously), while
+across threads the PCIe engine arbitrates transfers in chunks — each
+concurrent stream sees ~1/S of the link.  The steady-state cycle of one
+stream is therefore::
+
+    cycle(S) = S * t_h2d + t_compute + t_d2h
+
+and the node completes ``S`` batches per cycle.  The model reproduces
+Table 6's ramp (52.5 % -> 87.3 % schedule efficiency from 1 to 8
+streams) and its *theoretical speed* — the pure PCIe bound
+``batch / t_h2d`` (47,592 img/s for m=768 FP16 at 9.4 GB/s, Sec. 6.2).
+
+Extra GPU memory per stream is the stream's private similarity matrix
+``A`` (batch x m x n) plus its staging buffer for the in-flight
+reference batch, atop a fixed engine overhead — matching Table 6's
+measured footprints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..gpusim.calibration import KernelCalibration
+from ..gpusim.device import DeviceSpec
+from ..gpusim.kernels import (
+    d2h_result_us,
+    dtype_bytes,
+    elementwise_us,
+    gemm_us,
+    postprocess_us,
+    top2_scan_us,
+)
+from ..gpusim.pcie import h2d_time_us
+
+__all__ = ["StreamPlan", "plan_streams", "stream_extra_gpu_bytes", "batch_component_times"]
+
+#: fixed engine overhead independent of stream count (cuBLAS workspace,
+#: query buffers, ...), fit from Table 6's footprints.
+FIXED_OVERHEAD_BYTES = int(0.3e9)
+
+
+@dataclass(frozen=True)
+class StreamPlan:
+    """Predicted steady-state behaviour of one stream configuration."""
+
+    streams: int
+    batch: int
+    throughput_images_per_s: float
+    theoretical_images_per_s: float
+    cycle_us: float
+    h2d_us: float
+    compute_us: float
+    d2h_us: float
+    extra_gpu_bytes: int
+
+    @property
+    def schedule_efficiency(self) -> float:
+        """Eq. 4: achieved / theoretical speed."""
+        if self.theoretical_images_per_s <= 0:
+            return 0.0
+        return self.throughput_images_per_s / self.theoretical_images_per_s
+
+
+def stream_extra_gpu_bytes(
+    streams: int,
+    batch: int,
+    m: int,
+    n: int,
+    d: int = 128,
+    precision: str = "fp16",
+) -> int:
+    """Per-configuration extra GPU memory (Table 6, column 3)."""
+    if streams < 1 or batch < 1:
+        raise ValueError("streams and batch must be >= 1")
+    elem = dtype_bytes(precision)
+    per_stream = batch * m * n * elem + batch * m * d * elem
+    return FIXED_OVERHEAD_BYTES + streams * per_stream
+
+
+def batch_component_times(
+    spec: DeviceSpec,
+    cal: KernelCalibration,
+    m: int,
+    n: int,
+    d: int,
+    batch: int,
+    precision: str = "fp16",
+    tensor_core: bool = False,
+    pinned: bool = True,
+    with_norms: bool = False,
+) -> dict[str, float]:
+    """Per-batch stage durations (us) for the Algorithm-2 pipeline.
+
+    ``with_norms`` adds the Algorithm-1 N_R bytes to the transfer and
+    the row-broadcast kernel to compute.
+    """
+    elem = dtype_bytes(precision)
+    transfer_bytes = batch * m * d * elem
+    compute = gemm_us(spec, cal, m, n, d, batch, precision, tensor_core)
+    if with_norms:
+        transfer_bytes += batch * m * elem
+        compute += elementwise_us(spec, cal, batch * m * n, precision)
+    compute += top2_scan_us(spec, cal, m, batch * n, precision)
+    compute += elementwise_us(spec, cal, 2 * batch * n, precision)  # sqrt winners
+    return {
+        "h2d": h2d_time_us(spec, transfer_bytes, pinned),
+        "compute": compute,
+        "d2h": d2h_result_us(spec, cal, n, batch, 2, precision),
+        "post": postprocess_us(cal, batch, precision, n),
+    }
+
+
+def plan_streams(
+    spec: DeviceSpec,
+    cal: KernelCalibration,
+    streams: int,
+    batch: int,
+    m: int = 768,
+    n: int = 768,
+    d: int = 128,
+    precision: str = "fp16",
+    tensor_core: bool = False,
+    pinned: bool = True,
+    with_norms: bool = False,
+) -> StreamPlan:
+    """Steady-state throughput for ``streams`` threads/streams over
+    host-resident references."""
+    if streams < 1:
+        raise ValueError("streams must be >= 1")
+    t = batch_component_times(
+        spec, cal, m, n, d, batch, precision, tensor_core, pinned, with_norms
+    )
+    # Single stream: everything serialises, including CPU post-processing
+    # (one thread does it all).  Multi-stream: post-processing moves to
+    # the other CPU workers; PCIe is fair-shared across in-flight
+    # streams; compute still serialises on the device.
+    if streams == 1:
+        cycle = t["h2d"] + t["compute"] + t["d2h"] + t["post"]
+        throughput = batch / cycle * 1e6
+    else:
+        cycle = streams * t["h2d"] + t["compute"] + t["d2h"]
+        throughput = streams * batch / cycle * 1e6
+        compute_cap = batch / (t["compute"] + t["d2h"]) * 1e6
+        throughput = min(throughput, compute_cap)
+    theoretical = batch / t["h2d"] * 1e6
+    return StreamPlan(
+        streams=streams,
+        batch=batch,
+        throughput_images_per_s=throughput,
+        theoretical_images_per_s=theoretical,
+        cycle_us=cycle,
+        h2d_us=t["h2d"],
+        compute_us=t["compute"],
+        d2h_us=t["d2h"],
+        extra_gpu_bytes=stream_extra_gpu_bytes(streams, batch, m, n, d, precision),
+    )

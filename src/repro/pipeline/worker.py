@@ -1,0 +1,52 @@
+"""CPU-thread work partitioning (Sec. 6.2).
+
+"Usually, all the reference feature matrices are divided equally
+according to the number of enabled CPU threads."  These helpers slice a
+batch list into per-thread partitions and interleave the resulting
+per-thread schedules, which is how the functional engine iterates when
+multiple streams are configured (the *timing* of the overlap comes from
+:mod:`repro.pipeline.scheduler`).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+__all__ = ["partition_equally", "interleave_schedules"]
+
+
+def partition_equally(items: Sequence[T], workers: int) -> list[list[T]]:
+    """Split ``items`` into ``workers`` contiguous, near-equal slices.
+
+    The first ``len(items) % workers`` slices get one extra item; no
+    slice is ever more than one item larger than another.  Empty slices
+    are returned when there are more workers than items.
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    n = len(items)
+    base, extra = divmod(n, workers)
+    out: list[list[T]] = []
+    start = 0
+    for w in range(workers):
+        size = base + (1 if w < extra else 0)
+        out.append(list(items[start : start + size]))
+        start += size
+    return out
+
+
+def interleave_schedules(partitions: Sequence[Sequence[T]]) -> list[T]:
+    """Round-robin merge of per-worker schedules.
+
+    Produces the global issue order a fair scheduler would see: worker
+    0's first batch, worker 1's first batch, ..., worker 0's second, ...
+    """
+    out: list[T] = []
+    longest = max((len(p) for p in partitions), default=0)
+    for i in range(longest):
+        for p in partitions:
+            if i < len(p):
+                out.append(p[i])
+    return out

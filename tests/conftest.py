@@ -1,0 +1,41 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.gpusim import GPUDevice, KernelCalibration, TESLA_P100, TESLA_V100
+
+
+def make_descriptors(count: int, seed: int = 0, d: int = 128) -> np.ndarray:
+    """SIFT-like descriptors: non-negative, entries capped, L2 norm 512."""
+    rng = np.random.default_rng(seed)
+    desc = rng.gamma(0.6, 1.0, size=(d, count)).astype(np.float32)
+    desc /= np.linalg.norm(desc, axis=0, keepdims=True)
+    desc = np.minimum(desc, 0.2)
+    desc /= np.linalg.norm(desc, axis=0, keepdims=True)
+    return (desc * 512.0).astype(np.float32)
+
+
+def noisy_copy(desc: np.ndarray, sigma: float, seed: int = 1) -> np.ndarray:
+    """A perturbed (still non-negative, renormalised) copy of ``desc``."""
+    rng = np.random.default_rng(seed)
+    out = np.maximum(desc + rng.normal(0, sigma, desc.shape).astype(np.float32), 0)
+    norms = np.maximum(np.linalg.norm(out, axis=0, keepdims=True), 1e-9)
+    return (out / norms * 512.0).astype(np.float32)
+
+
+@pytest.fixture
+def p100() -> GPUDevice:
+    return GPUDevice(TESLA_P100)
+
+
+@pytest.fixture
+def v100() -> GPUDevice:
+    return GPUDevice(TESLA_V100)
+
+
+@pytest.fixture
+def p100_cal() -> KernelCalibration:
+    return KernelCalibration.for_device(TESLA_P100)

@@ -1,0 +1,93 @@
+"""Baselines (OpenCV CUDA, Garcia cuBLAS) and efficiency metrics."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    garcia_knn_match,
+    garcia_memory_bytes,
+    make_prepared,
+    opencv_knn_match,
+    opencv_memory_bytes,
+    opencv_search_time_us,
+)
+from repro.core import knn_algorithm1, prepare_query, prepare_reference
+from repro.gpusim import GPUDevice, TESLA_P100, TESLA_V100
+from repro.metrics import gemm_flops_per_image, gpu_efficiency, schedule_efficiency
+from tests.conftest import make_descriptors, noisy_copy
+
+
+class TestOpencvBaseline:
+    def test_results_match_algorithm1(self, p100):
+        ref_d = make_descriptors(24, seed=0)
+        qry_d = noisy_copy(ref_d, 20.0, seed=1)
+        baseline = opencv_knn_match(p100, ref_d, qry_d)
+        ref = prepare_reference(ref_d, "fp32")
+        qry = prepare_query(p100, qry_d, "fp32")
+        ours = knn_algorithm1(p100, ref, qry)
+        np.testing.assert_allclose(baseline.distances, ours.distances, atol=0.5)
+        np.testing.assert_array_equal(baseline.indices, ours.indices)
+
+    def test_paper_speed_p100(self, p100):
+        """Table 1: OpenCV CUDA = 2,012 img/s on P100."""
+        total = opencv_search_time_us(p100)
+        assert 1e6 / total == pytest.approx(2012, rel=0.05)
+
+    def test_paper_speed_v100(self, v100):
+        """Sec. 3.3: 2,937 img/s on V100 (we accept a wider band)."""
+        total = opencv_search_time_us(v100)
+        assert 1e6 / total == pytest.approx(2937, rel=0.25)
+
+    def test_memory_matches_table1(self):
+        assert opencv_memory_bytes(10_000) / 1e6 == pytest.approx(4271, rel=0.01)
+
+    def test_validation(self, p100):
+        with pytest.raises(ValueError):
+            opencv_knn_match(p100, np.ones((4, 3), np.float32), np.ones((5, 3), np.float32))
+        with pytest.raises(ValueError):
+            opencv_memory_bytes(-1)
+
+
+class TestGarciaBaseline:
+    def test_functionally_identical_to_ours(self, p100):
+        ref_d = make_descriptors(16, seed=2)
+        qry_d = noisy_copy(ref_d, 20.0, seed=3)
+        ref = make_prepared(ref_d, "fp32")
+        qry = prepare_query(p100, qry_d, "fp32")
+        garcia = garcia_knn_match(p100, ref, qry)
+        ours = knn_algorithm1(p100, ref, qry, sort_kind="scan")
+        np.testing.assert_allclose(garcia.distances, ours.distances)
+
+    def test_memory_matches_table1(self):
+        assert garcia_memory_bytes(10_000, precision="fp32") / 1e6 == pytest.approx(4307, rel=0.01)
+        assert garcia_memory_bytes(10_000, precision="fp16") / 1e6 == pytest.approx(2307, rel=0.01)
+
+
+class TestEfficiencyMetrics:
+    def test_flops_per_image(self):
+        assert gemm_flops_per_image(768, 768, 128) == 2 * 768 * 768 * 128
+
+    def test_table4_p100_row(self):
+        """45,539 img/s on P100 => ~6.7-6.9 TFLOPS => ~36% of 18.7.
+
+        (The paper's own cells are ~3% inconsistent: 45,539 x 2mnd is
+        6.88 TFLOPS, its table prints 6.69 — we allow that slack.)
+        """
+        report = gpu_efficiency(TESLA_P100, 45539)
+        assert report.achieved_tflops == pytest.approx(6.69, rel=0.04)
+        assert report.efficiency == pytest.approx(0.358, rel=0.04)
+
+    def test_table4_v100_tensor_core_row(self):
+        report = gpu_efficiency(TESLA_V100, 86519, tensor_core=True)
+        assert report.efficiency == pytest.approx(0.114, rel=0.03)
+
+    def test_schedule_efficiency(self):
+        assert schedule_efficiency(41546, 47592) == pytest.approx(0.873, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            gemm_flops_per_image(0, 1, 1)
+        with pytest.raises(ValueError):
+            gpu_efficiency(TESLA_P100, -1)
+        with pytest.raises(ValueError):
+            schedule_efficiency(1.0, 0.0)

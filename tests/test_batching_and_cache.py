@@ -1,0 +1,210 @@
+"""Batch builder, FIFO cache, hybrid cache, capacity planner."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache import (
+    CacheLocation,
+    FifoCache,
+    HybridFeatureCache,
+    feature_matrix_bytes,
+    plan_capacity,
+)
+from repro.core import BatchBuilder, ReferenceBatch
+from repro.errors import CacheCapacityError
+from repro.gpusim import GPUDevice, TESLA_P100
+
+
+def small_device(mem_bytes=10**6, reserved=0):
+    return GPUDevice(TESLA_P100.with_memory(mem_bytes), reserved_bytes=reserved)
+
+
+def make_batch(batch_id, size, d=8, m=4):
+    return ReferenceBatch(
+        batch_id=batch_id,
+        ids=[f"b{batch_id}-{i}" for i in range(size)],
+        tensor=np.zeros((size, d, m), np.float16),
+    )
+
+
+class TestBatchBuilder:
+    def test_flush_on_full(self):
+        builder = BatchBuilder(batch_size=2, d=4, m=3)
+        assert builder.add("a", np.zeros((4, 3), np.float16)) is None
+        batch = builder.add("b", np.zeros((4, 3), np.float16))
+        assert batch is not None
+        assert batch.ids == ["a", "b"]
+        assert batch.size == 2
+        assert builder.pending == 0
+
+    def test_partial_flush(self):
+        builder = BatchBuilder(batch_size=4, d=4, m=3)
+        builder.add("a", np.zeros((4, 3), np.float16))
+        batch = builder.flush()
+        assert batch.size == 1
+        assert builder.flush() is None
+
+    def test_batch_ids_increment(self):
+        builder = BatchBuilder(batch_size=1, d=2, m=2)
+        b0 = builder.add("a", np.zeros((2, 2)))
+        b1 = builder.add("b", np.zeros((2, 2)))
+        assert (b0.batch_id, b1.batch_id) == (0, 1)
+
+    def test_shape_enforced(self):
+        builder = BatchBuilder(batch_size=2, d=4, m=3)
+        with pytest.raises(ValueError, match="shape"):
+            builder.add("a", np.zeros((4, 5)))
+
+    def test_norms_required_when_configured(self):
+        builder = BatchBuilder(batch_size=2, d=4, m=3, keep_norms=True)
+        with pytest.raises(ValueError, match="norms"):
+            builder.add("a", np.zeros((4, 3)))
+        builder.add("a", np.zeros((4, 3)), norms=np.zeros(3))
+        batch = builder.flush()
+        assert batch.norms.shape == (1, 3)
+
+    def test_rename_pending_slot(self):
+        builder = BatchBuilder(batch_size=3, d=2, m=2)
+        builder.add("a", np.zeros((2, 2)))
+        builder.rename(0, "dead")
+        builder.add("b", np.zeros((2, 2)))
+        batch = builder.flush()
+        assert batch.ids == ["dead", "b"]
+
+    def test_batch_nbytes(self):
+        batch = make_batch(0, 3, d=8, m=4)
+        assert batch.nbytes == 3 * 8 * 4 * 2
+
+
+class TestFifoCache:
+    def test_fifo_eviction_order(self):
+        cache = FifoCache(100)
+        cache.put("a", 1, 40)
+        cache.put("b", 2, 40)
+        evicted = cache.put("c", 3, 40)
+        assert [k for k, _ in evicted] == ["a"]
+        assert cache.keys() == ["b", "c"]
+
+    def test_get_does_not_refresh(self):
+        cache = FifoCache(100)
+        cache.put("a", 1, 40)
+        cache.put("b", 2, 40)
+        cache.get("a")  # FIFO: no recency effect
+        evicted = cache.put("c", 3, 40)
+        assert [k for k, _ in evicted] == ["a"]
+
+    def test_oversized_entry(self):
+        cache = FifoCache(10)
+        with pytest.raises(CacheCapacityError):
+            cache.put("a", 1, 11)
+
+    def test_replace_existing_key(self):
+        cache = FifoCache(100)
+        cache.put("a", 1, 40)
+        cache.put("a", 2, 60)
+        assert cache.get("a") == 2
+        assert cache.used_bytes == 60
+
+    def test_pop(self):
+        cache = FifoCache(100)
+        cache.put("a", 1, 40)
+        entry = cache.pop("a")
+        assert entry.value == 1
+        assert cache.used_bytes == 0
+
+    @given(st.lists(st.tuples(st.integers(0, 20), st.integers(1, 30)), max_size=40))
+    @settings(max_examples=50, deadline=None)
+    def test_budget_invariant(self, ops):
+        cache = FifoCache(60)
+        for key, size in ops:
+            cache.put(key, size, size)
+            assert cache.used_bytes <= 60
+            assert cache.used_bytes == sum(e.nbytes for _, e in cache.items())
+
+
+class TestHybridCache:
+    def test_gpu_first_then_demote(self):
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=2 * batch_bytes,
+                                   host_budget_bytes=10 * batch_bytes)
+        for i in range(3):
+            cache.add(make_batch(i, 4))
+        locations = [c.location for c in cache.batches()]
+        assert locations == [CacheLocation.HOST, CacheLocation.GPU, CacheLocation.GPU]
+        assert cache.gpu_batches == 2 and cache.host_batches == 1
+
+    def test_device_memory_accounted(self):
+        device = small_device(10**6)
+        cache = HybridFeatureCache(device, gpu_budget_bytes=10**5, host_budget_bytes=10**6)
+        cache.add(make_batch(0, 4))
+        assert device.memory.used_bytes == make_batch(0, 4).nbytes
+        # demotion frees the device allocation
+        big = 10**5 // make_batch(0, 4).nbytes + 1
+        for i in range(1, big + 1):
+            cache.add(make_batch(i, 4))
+        assert device.memory.used_bytes <= 10**5
+
+    def test_total_exhaustion_raises(self):
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=batch_bytes,
+                                   host_budget_bytes=batch_bytes)
+        cache.add(make_batch(0, 4))
+        cache.add(make_batch(1, 4))
+        with pytest.raises(CacheCapacityError):
+            cache.add(make_batch(2, 4))
+
+    def test_no_host_level_raises_on_overflow(self):
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=batch_bytes, host_budget_bytes=0)
+        cache.add(make_batch(0, 4))
+        with pytest.raises(CacheCapacityError, match="no host cache"):
+            cache.add(make_batch(1, 4))
+
+    def test_capacity_images(self):
+        device = small_device(10**6)
+        cache = HybridFeatureCache(device, gpu_budget_bytes=1000, host_budget_bytes=4000)
+        assert cache.capacity_images(100) == 50
+
+    def test_fifo_order_preserved_across_levels(self):
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=2 * batch_bytes,
+                                   host_budget_bytes=10 * batch_bytes)
+        for i in range(5):
+            cache.add(make_batch(i, 4))
+        ids = [c.batch.batch_id for c in cache.batches()]
+        assert ids == [0, 1, 2, 3, 4]
+
+
+class TestCapacityPlanner:
+    def test_paper_gpu_only_capacity(self):
+        """Sec. 6: 16 GB / 187.5 KB ~= 85,000 images at m=768 FP16."""
+        plan = plan_capacity(m=768, precision="fp16")
+        assert plan.bytes_per_image == 196608
+        assert 85_000 <= plan.gpu_images <= 88_000
+
+    def test_sec8_per_container(self):
+        """Sec. 8: 12 GB GPU + 64 GB host = 76 GB -> ~780k at m=384."""
+        plan = plan_capacity(
+            m=384, precision="fp16",
+            gpu_reserved_bytes=4 * 1024**3, host_cache_bytes=64 * 10**9,
+        )
+        assert plan.bytes_per_image == 98304
+        assert 770_000 <= plan.total_images <= 790_000
+        # 14 containers land within 10% of the paper's 10.8M
+        assert abs(plan.total_images * 14 - 10_800_000) / 10_800_000 < 0.10
+
+    def test_norms_included_for_algorithm1(self):
+        with_n = feature_matrix_bytes(768, 128, "fp32", with_norms=True)
+        without = feature_matrix_bytes(768, 128, "fp32", with_norms=False)
+        assert with_n - without == 768 * 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            feature_matrix_bytes(0)
+        with pytest.raises(ValueError):
+            plan_capacity(gpu_reserved_bytes=10**20)

@@ -1,0 +1,82 @@
+"""Capture-transform details and dataset builder coverage."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsymmetricExtractor, AsymmetricPolicy
+from repro.data import (
+    CaptureProfile,
+    CaptureSimulator,
+    TeaBrickGenerator,
+    build_image_dataset,
+)
+
+
+def identity_profile(**overrides) -> CaptureProfile:
+    base = dict(
+        max_rotation_deg=0.0, max_scale_delta=0.0, max_shift_frac=0.0,
+        max_perspective=0.0, illumination_gain_range=(1.0, 1.0),
+        illumination_gradient=0.0, occlusion_prob=0.0, max_occlusion_frac=0.0,
+        noise_sigma=0.0, blur_sigma=0.0,
+    )
+    base.update(overrides)
+    return CaptureProfile(**base)
+
+
+@pytest.fixture(scope="module")
+def brick():
+    return TeaBrickGenerator(size=96, seed=8).brick(0)
+
+
+class TestIndividualPerturbations:
+    def test_identity_profile_is_near_noop(self, brick):
+        out = CaptureSimulator(identity_profile()).capture(brick, np.random.default_rng(0))
+        np.testing.assert_allclose(out, brick, atol=1e-4)
+
+    def test_gain_scales_intensity(self, brick):
+        profile = identity_profile(illumination_gain_range=(0.5, 0.5))
+        out = CaptureSimulator(profile).capture(brick, np.random.default_rng(0))
+        np.testing.assert_allclose(out, brick * 0.5, atol=1e-4)
+
+    def test_occlusion_always_fires_at_prob_one(self, brick):
+        profile = identity_profile(occlusion_prob=1.0, max_occlusion_frac=0.2)
+        out = CaptureSimulator(profile).capture(brick, np.random.default_rng(1))
+        assert np.abs(out - brick).max() > 0.1  # a patch was replaced
+
+    def test_noise_changes_pixels_everywhere(self, brick):
+        profile = identity_profile(noise_sigma=0.05)
+        out = CaptureSimulator(profile).capture(brick, np.random.default_rng(2))
+        changed = np.abs(out - brick) > 1e-6
+        assert changed.mean() > 0.9
+
+    def test_rotation_moves_content(self, brick):
+        profile = identity_profile(max_rotation_deg=10.0)
+        rng = np.random.default_rng(3)
+        out = CaptureSimulator(profile).capture(brick, rng)
+        # centre is roughly preserved, corners shift
+        h, w = brick.shape
+        centre_err = np.abs(out[h // 2 - 4 : h // 2 + 4, w // 2 - 4 : w // 2 + 4]
+                            - brick[h // 2 - 4 : h // 2 + 4, w // 2 - 4 : w // 2 + 4]).mean()
+        corner_err = np.abs(out[:8, :8] - brick[:8, :8]).mean()
+        assert corner_err > centre_err
+
+    def test_same_rng_state_reproducible(self, brick):
+        profile = identity_profile(noise_sigma=0.02, max_rotation_deg=5.0)
+        a = CaptureSimulator(profile).capture(brick, np.random.default_rng(42))
+        b = CaptureSimulator(profile).capture(brick, np.random.default_rng(42))
+        np.testing.assert_array_equal(a, b)
+
+
+class TestImageDatasetBuilder:
+    def test_shapes_and_ground_truth(self):
+        extractor = AsymmetricExtractor(AsymmetricPolicy(m_reference=24, n_query=32))
+        ds = build_image_dataset(3, extractor, queries_per_brick=2, image_size=96, seed=9)
+        assert ds.n_bricks == 3
+        assert len(ds.queries) == 6
+        assert ds.references[0].descriptors.shape == (128, 24)
+        assert sorted({q.brick_id for q in ds.queries}) == [0, 1, 2]
+
+    def test_invalid_count(self):
+        extractor = AsymmetricExtractor(AsymmetricPolicy(m_reference=8, n_query=8))
+        with pytest.raises(ValueError):
+            build_image_dataset(0, extractor)

@@ -1,0 +1,110 @@
+"""CBIR IVF-PQ baseline: k-means, PQ, index, retrieval."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import IVFPQIndex, ProductQuantizer, kmeans
+from tests.conftest import make_descriptors, noisy_copy
+
+
+class TestKmeans:
+    def test_recovers_separated_clusters(self):
+        rng = np.random.default_rng(0)
+        centers = np.array([[0.0, 0.0], [10.0, 0.0], [0.0, 10.0]])
+        data = np.vstack([c + rng.normal(0, 0.3, (50, 2)) for c in centers])
+        out = kmeans(data.astype(np.float32), 3, seed=1)
+        # every true centre has a centroid within 0.5
+        for c in centers:
+            assert np.min(np.linalg.norm(out - c, axis=1)) < 0.5
+
+    def test_deterministic(self):
+        data = np.random.default_rng(1).random((100, 4)).astype(np.float32)
+        np.testing.assert_array_equal(kmeans(data, 5, seed=7), kmeans(data, 5, seed=7))
+
+    def test_k_validation(self):
+        data = np.random.default_rng(2).random((10, 3)).astype(np.float32)
+        with pytest.raises(ValueError):
+            kmeans(data, 0)
+        with pytest.raises(ValueError):
+            kmeans(data, 11)
+        with pytest.raises(ValueError):
+            kmeans(data.ravel(), 2)
+
+
+class TestProductQuantizer:
+    def test_roundtrip_error_bounded(self):
+        rng = np.random.default_rng(3)
+        data = rng.random((500, 32)).astype(np.float32)
+        pq = ProductQuantizer(32, n_subspaces=4, n_centroids=32)
+        pq.train(data, seed=0)
+        codes = pq.encode(data[:50])
+        assert codes.shape == (50, 4)
+        assert codes.dtype == np.uint8
+        # reconstruct and check error is below the data's own variance
+        recon = np.concatenate(
+            [pq.codebooks[s][codes[:, s]] for s in range(4)], axis=1
+        )
+        mse = np.mean((recon - data[:50]) ** 2)
+        assert mse < np.var(data)
+
+    def test_adc_table_consistent_with_exact(self):
+        rng = np.random.default_rng(4)
+        data = rng.random((300, 16)).astype(np.float32)
+        pq = ProductQuantizer(16, n_subspaces=2, n_centroids=16)
+        pq.train(data, seed=0)
+        query = data[7]
+        codes = pq.encode(data[:20])
+        table = pq.adc_table(query)
+        adc = table[np.arange(2)[None, :], codes].sum(axis=1)
+        recon = np.concatenate([pq.codebooks[s][codes[:, s]] for s in range(2)], axis=1)
+        exact = ((recon - query) ** 2).sum(axis=1)
+        np.testing.assert_allclose(adc, exact, rtol=1e-4)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProductQuantizer(30, n_subspaces=4)  # not divisible
+        with pytest.raises(ValueError):
+            ProductQuantizer(32, n_centroids=1)
+        pq = ProductQuantizer(32, 4, 16)
+        with pytest.raises(RuntimeError):
+            pq.encode(np.zeros((2, 32), np.float32))
+
+
+class TestIVFPQIndex:
+    @pytest.fixture(scope="class")
+    def index(self):
+        index = IVFPQIndex(d=128, n_lists=8, n_subspaces=8, n_centroids=16, seed=0)
+        descs = {i: make_descriptors(64, seed=900 + i) for i in range(6)}
+        index.train(np.hstack(list(descs.values())).T)
+        for i, d in descs.items():
+            index.add(f"img{i}", d)
+        self_descs = descs
+        return index, descs
+
+    def test_retrieves_true_image(self, index):
+        idx, descs = index
+        query = noisy_copy(descs[3], 10.0, seed=91)
+        votes = idx.search(query, nprobe=4)
+        assert votes[0].image_id == "img3"
+        assert votes[0].votes > votes[1].votes if len(votes) > 1 else True
+
+    def test_nprobe_clamped(self, index):
+        idx, descs = index
+        votes = idx.search(descs[0], nprobe=1000)
+        assert votes[0].image_id == "img0"
+
+    def test_untrained_rejected(self):
+        idx = IVFPQIndex(d=128)
+        with pytest.raises(RuntimeError):
+            idx.add("x", make_descriptors(4))
+        with pytest.raises(RuntimeError):
+            idx.search(make_descriptors(4))
+
+    def test_query_dim_checked(self, index):
+        idx, _ = index
+        with pytest.raises(ValueError):
+            idx.search(np.zeros((64, 5), np.float32))
+
+    def test_n_images(self, index):
+        idx, _ = index
+        assert idx.n_images == 6

@@ -1,0 +1,69 @@
+"""Serial-chain compositions of the benchmark harness."""
+
+import pytest
+
+from repro.bench import algorithm1_steps, algorithm2_steps, chain_speed, hybrid_speed
+from repro.gpusim import KernelCalibration, TESLA_P100
+
+CAL = KernelCalibration.for_device(TESLA_P100)
+
+
+class TestAlgorithm1Steps:
+    def test_step_names_match_table1(self):
+        steps = algorithm1_steps(TESLA_P100, CAL)
+        assert set(steps) == {
+            "GEMM/step3", "Add N_R/step4", "Top-2 sort/step5",
+            "Add N_Q and Sqrt/step6&7", "D2H copy/step8", "Post-processing/CPU",
+        }
+
+    def test_insertion_total_matches_garcia(self):
+        """Table 1 column 2: 330.3 us."""
+        steps = algorithm1_steps(TESLA_P100, CAL, sort_kind="insertion")
+        assert sum(steps.values()) == pytest.approx(330.3, rel=0.02)
+
+    def test_scan_total_matches_ours(self):
+        """Table 1 column 3: 148.5 us."""
+        steps = algorithm1_steps(TESLA_P100, CAL, sort_kind="scan")
+        assert sum(steps.values()) == pytest.approx(148.5, rel=0.02)
+
+    def test_unknown_sort(self):
+        with pytest.raises(ValueError):
+            algorithm1_steps(TESLA_P100, CAL, sort_kind="radix")
+
+
+class TestAlgorithm2Steps:
+    def test_step_names_match_table3(self):
+        steps = algorithm2_steps(TESLA_P100, CAL, batch=4)
+        assert set(steps) == {
+            "HGEMM/step1", "Sort and Sqrt/step2&3",
+            "D2H memory copy/step4", "Post-processing/CPU",
+        }
+
+    def test_batch_1024_total(self):
+        """Table 3: 21.96 us/img at batch 1024."""
+        steps = algorithm2_steps(TESLA_P100, CAL, batch=1024)
+        assert sum(steps.values()) / 1024 == pytest.approx(21.96, rel=0.02)
+
+    def test_chain_speed(self):
+        steps = {"a": 50.0, "b": 50.0}
+        assert chain_speed(steps, batch=2) == pytest.approx(20_000.0)
+        with pytest.raises(ValueError):
+            chain_speed({"a": 0.0})
+
+
+class TestHybridSpeed:
+    def test_location_ordering(self):
+        gpu = hybrid_speed(TESLA_P100, CAL, "gpu")
+        pinned = hybrid_speed(TESLA_P100, CAL, "host-pinned")
+        pageable = hybrid_speed(TESLA_P100, CAL, "host-pageable")
+        assert pageable < pinned < gpu
+
+    def test_asymmetric_m_relaxes_transfer(self):
+        """Sec. 7: halving m halves the PCIe requirement."""
+        full = hybrid_speed(TESLA_P100, CAL, "host-pinned", m=768)
+        half = hybrid_speed(TESLA_P100, CAL, "host-pinned", m=384)
+        assert half > 1.5 * full
+
+    def test_unknown_location(self):
+        with pytest.raises(ValueError):
+            hybrid_speed(TESLA_P100, CAL, "nvme")

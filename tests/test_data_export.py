@@ -1,0 +1,76 @@
+"""Dataset persistence (.npz archives) and DoG internals."""
+
+import numpy as np
+import pytest
+
+from repro.data import build_feature_dataset, load_dataset, save_dataset
+from repro.errors import SerializationError
+from repro.features.dog import _passes_edge_test, _quadratic_fit
+
+
+class TestDatasetRoundtrip:
+    def test_save_load_identical(self, tmp_path):
+        dataset = build_feature_dataset(4, 16, 24, queries_per_brick=2, seed=3)
+        path = save_dataset(dataset, tmp_path / "ds")
+        assert path.suffix == ".npz"
+        loaded = load_dataset(path)
+        assert loaded.n_bricks == 4
+        assert len(loaded.queries) == 8
+        for a, b in zip(dataset.references, loaded.references):
+            assert a.brick_id == b.brick_id
+            np.testing.assert_array_equal(a.descriptors, b.descriptors)
+        for a, b in zip(dataset.queries, loaded.queries):
+            assert a.brick_id == b.brick_id
+            np.testing.assert_array_equal(a.descriptors, b.descriptors)
+
+    def test_accuracy_reproducible_from_archive(self, tmp_path):
+        from repro.core import EngineConfig, TextureSearchEngine
+        from repro.metrics import evaluate_top1
+
+        dataset = build_feature_dataset(6, 32, 32, seed=5)
+        path = save_dataset(dataset, tmp_path / "ds.npz")
+        loaded = load_dataset(path)
+
+        def accuracy(ds):
+            engine = TextureSearchEngine(
+                EngineConfig(m=32, n=32, batch_size=4, scale_factor=0.25)
+            )
+            return evaluate_top1(engine, ds).top1_accuracy
+
+        assert accuracy(dataset) == accuracy(loaded)
+
+    def test_not_an_archive(self, tmp_path):
+        bad = tmp_path / "bad.npz"
+        np.savez(bad, stuff=np.ones(3))
+        with pytest.raises(SerializationError):
+            load_dataset(bad)
+
+
+class TestDogInternals:
+    def test_quadratic_fit_finds_parabola_peak(self):
+        """A discrete 3-D paraboloid peaked off-grid: the fit recovers
+        the sub-pixel offset."""
+        layers, h, w = 3, 9, 9
+        dog = np.zeros((layers, h, w), dtype=np.float64)
+        cy, cx, cl = 4.3, 4.2, 1.0
+        for layer in range(layers):
+            for y in range(h):
+                for x in range(w):
+                    dog[layer, y, x] = 1.0 - 0.05 * (
+                        (y - cy) ** 2 + (x - cx) ** 2 + (layer - cl) ** 2
+                    )
+        offset, value, _h2 = _quadratic_fit(dog, 1, 4, 4)
+        assert offset[0] == pytest.approx(0.2, abs=0.05)  # x
+        assert offset[1] == pytest.approx(0.3, abs=0.05)  # y
+        assert value == pytest.approx(1.0, abs=0.02)
+
+    def test_edge_test_rejects_ridges(self):
+        # isotropic blob: passes
+        blob = np.array([[-0.5, 0.0], [0.0, -0.5]])
+        assert _passes_edge_test(blob, edge_ratio=10.0)
+        # strong ridge (one large, one tiny curvature): rejected
+        ridge = np.array([[-1.0, 0.0], [0.0, -0.01]])
+        assert not _passes_edge_test(ridge, edge_ratio=10.0)
+        # saddle (negative determinant): rejected
+        saddle = np.array([[-1.0, 0.0], [0.0, 0.5]])
+        assert not _passes_edge_test(saddle, edge_ratio=10.0)

@@ -1,0 +1,37 @@
+"""Smoke tests: the fast examples must run end to end.
+
+(The two image-pipeline examples — product_traceability and
+surf_material_authentication — take minutes of real SIFT/SURF work and
+are exercised by the integration tests at reduced scale instead.)
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str) -> None:
+    path = EXAMPLES / name
+    spec = importlib.util.spec_from_file_location(f"example_{name[:-3]}", path)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    try:
+        spec.loader.exec_module(module)
+        module.main()
+    finally:
+        sys.modules.pop(spec.name, None)
+
+
+@pytest.mark.parametrize(
+    "name",
+    ["quickstart.py", "capacity_planning.py", "fp16_tuning.py", "distributed_search.py"],
+)
+def test_example_runs(name, capsys):
+    run_example(name)
+    out = capsys.readouterr().out
+    assert len(out) > 100  # produced a real report
+    assert "Traceback" not in out

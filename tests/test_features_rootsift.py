@@ -1,0 +1,103 @@
+"""RootSIFT transform and selection helpers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.features import (
+    Keypoint,
+    is_unit_normalized,
+    pad_or_trim,
+    rootsift,
+    select_top_features,
+)
+from tests.conftest import make_descriptors
+
+
+class TestRootSIFT:
+    def test_unit_norm(self):
+        out = rootsift(make_descriptors(16, seed=0))
+        assert is_unit_normalized(out)
+
+    def test_hellinger_equivalence(self):
+        """||rootsift(x) - rootsift(y)||^2 == 2 - 2 H(x, y) where H is the
+        Hellinger kernel of the L1-normalised histograms."""
+        d = make_descriptors(6, seed=1)
+        rs = rootsift(d).astype(np.float64)
+        l1 = d / d.sum(axis=0, keepdims=True)
+        for i in range(6):
+            for j in range(6):
+                hellinger = np.sum(np.sqrt(l1[:, i] * l1[:, j]))
+                dist_sq = np.sum((rs[:, i] - rs[:, j]) ** 2)
+                assert dist_sq == pytest.approx(2 - 2 * hellinger, abs=1e-5)
+
+    def test_zero_column_passthrough(self):
+        d = make_descriptors(3, seed=2)
+        d[:, 1] = 0
+        out = rootsift(d)
+        np.testing.assert_array_equal(out[:, 1], 0)
+        assert is_unit_normalized(out)  # zero columns are exempt
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            rootsift(np.array([[-1.0], [1.0]], dtype=np.float32))
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            rootsift(np.ones(4, np.float32))
+
+    @given(
+        hnp.arrays(
+            np.float32,
+            shape=st.tuples(st.integers(2, 32), st.integers(1, 8)),
+            elements=st.floats(0, 100, width=32),
+        )
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_norm_property(self, arr):
+        out = rootsift(arr)
+        norms = np.linalg.norm(out.astype(np.float64), axis=0)
+        l1 = arr.sum(axis=0)
+        for norm, total in zip(norms, l1):
+            if total > 1e-6:
+                assert norm == pytest.approx(1.0, abs=1e-3)
+
+
+class TestSelection:
+    def _kps(self, responses):
+        return [Keypoint(i, i, 1.6, r, 0, 1) for i, r in enumerate(responses)]
+
+    def test_keeps_strongest(self):
+        d = make_descriptors(5, seed=3)
+        kps = self._kps([0.1, 0.9, 0.5, 0.7, 0.3])
+        out, kept = select_top_features(d, kps, 2)
+        assert [k.response for k in kept] == [0.9, 0.7]
+        np.testing.assert_array_equal(out[:, 0], d[:, 1])
+
+    def test_under_budget_still_sorted(self):
+        d = make_descriptors(3, seed=4)
+        kps = self._kps([1, 2, 3])
+        out, kept = select_top_features(d, kps, 10)
+        assert [k.response for k in kept] == [3, 2, 1]
+        np.testing.assert_array_equal(out[:, 0], d[:, 2])
+
+    def test_stable_tiebreak(self):
+        d = make_descriptors(3, seed=5)
+        kps = self._kps([0.5, 0.5, 0.5])
+        _out, kept = select_top_features(d, kps, 2)
+        assert [k.x for k in kept] == [0, 1]
+
+    def test_misaligned_inputs(self):
+        with pytest.raises(ValueError):
+            select_top_features(make_descriptors(3), self._kps([1, 2]), 1)
+
+    def test_pad_or_trim(self):
+        d = make_descriptors(5, seed=6)
+        padded = pad_or_trim(d, 8)
+        assert padded.shape == (128, 8)
+        np.testing.assert_array_equal(padded[:, 5:], 0)
+        trimmed = pad_or_trim(d, 3)
+        np.testing.assert_array_equal(trimmed, d[:, :3])
+        same = pad_or_trim(d, 5)
+        np.testing.assert_array_equal(same, d)

@@ -1,0 +1,117 @@
+"""Geometric verification: estimators and RANSAC."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import (
+    apply_homography,
+    apply_similarity,
+    estimate_homography,
+    estimate_similarity,
+    ransac_verify,
+)
+
+
+def random_points(n, seed=0, scale=100.0):
+    return np.random.default_rng(seed).random((n, 2)) * scale
+
+
+def similarity_matrix(scale, theta, tx, ty):
+    c, s = scale * np.cos(theta), scale * np.sin(theta)
+    return np.array([[c, -s, tx], [s, c, ty]])
+
+
+class TestSimilarity:
+    def test_recovers_exact_transform(self):
+        src = random_points(20, seed=1)
+        m_true = similarity_matrix(1.3, 0.4, 5.0, -2.0)
+        dst = apply_similarity(m_true, src)
+        m_est = estimate_similarity(src, dst)
+        np.testing.assert_allclose(m_est, m_true, atol=1e-9)
+
+    def test_least_squares_with_noise(self):
+        src = random_points(200, seed=2)
+        m_true = similarity_matrix(0.9, -0.2, 1.0, 3.0)
+        rng = np.random.default_rng(3)
+        dst = apply_similarity(m_true, src) + rng.normal(0, 0.5, (200, 2))
+        m_est = estimate_similarity(src, dst)
+        np.testing.assert_allclose(m_est, m_true, atol=0.2)
+
+    def test_minimum_points(self):
+        with pytest.raises(ValueError):
+            estimate_similarity(random_points(1), random_points(1))
+
+    def test_degenerate_source(self):
+        src = np.zeros((5, 2))
+        with pytest.raises(ValueError, match="degenerate"):
+            estimate_similarity(src, random_points(5))
+
+
+class TestHomography:
+    def test_recovers_exact_homography(self):
+        src = random_points(30, seed=4)
+        h_true = np.array([[1.1, 0.05, 3.0], [-0.04, 0.95, -2.0], [1e-4, -5e-5, 1.0]])
+        dst = apply_homography(h_true, src)
+        h_est = estimate_homography(src, dst)
+        np.testing.assert_allclose(h_est, h_true, atol=1e-6)
+
+    def test_similarity_is_special_case(self):
+        src = random_points(30, seed=5)
+        m = similarity_matrix(1.2, 0.3, 4.0, 1.0)
+        dst = apply_similarity(m, src)
+        h = estimate_homography(src, dst)
+        np.testing.assert_allclose(apply_homography(h, src), dst, atol=1e-6)
+
+    def test_minimum_points(self):
+        with pytest.raises(ValueError):
+            estimate_homography(random_points(3), random_points(3))
+
+
+class TestRansac:
+    def _matches_with_outliers(self, n_in, n_out, seed=6):
+        rng = np.random.default_rng(seed)
+        src_in = random_points(n_in, seed=seed)
+        m = similarity_matrix(1.05, 0.15, 2.0, -1.0)
+        dst_in = apply_similarity(m, src_in) + rng.normal(0, 0.3, (n_in, 2))
+        src_out = random_points(n_out, seed=seed + 1)
+        dst_out = random_points(n_out, seed=seed + 2)
+        src = np.vstack([src_in, src_out])
+        dst = np.vstack([dst_in, dst_out])
+        return src, dst, n_in
+
+    def test_counts_inliers(self):
+        src, dst, n_in = self._matches_with_outliers(40, 20)
+        result = ransac_verify(src, dst, "similarity", threshold=2.0)
+        assert abs(result.inliers - n_in) <= 4
+        assert result.inlier_mask[:n_in].mean() > 0.85
+
+    def test_pure_outliers_rejected(self):
+        src = random_points(30, seed=8)
+        dst = random_points(30, seed=9)
+        result = ransac_verify(src, dst, "similarity", threshold=1.0)
+        assert result.inliers < 8
+
+    def test_too_few_points(self):
+        result = ransac_verify(np.zeros((1, 2)), np.zeros((1, 2)))
+        assert result.inliers == 0 and result.model is None
+
+    def test_homography_model(self):
+        src, dst, n_in = self._matches_with_outliers(50, 10, seed=10)
+        result = ransac_verify(src, dst, "homography", threshold=2.0, iterations=400)
+        assert result.inliers >= n_in * 0.8
+
+    def test_deterministic_with_seed(self):
+        src, dst, _ = self._matches_with_outliers(30, 15, seed=11)
+        a = ransac_verify(src, dst, seed=42)
+        b = ransac_verify(src, dst, seed=42)
+        assert a.inliers == b.inliers
+        np.testing.assert_array_equal(a.inlier_mask, b.inlier_mask)
+
+    def test_unknown_model(self):
+        with pytest.raises(ValueError, match="model"):
+            ransac_verify(np.zeros((5, 2)), np.zeros((5, 2)), model="affine3d")
+
+    def test_inlier_ratio(self):
+        src, dst, n_in = self._matches_with_outliers(30, 30, seed=12)
+        result = ransac_verify(src, dst, threshold=2.0)
+        assert 0.3 < result.inlier_ratio < 0.7

@@ -1,0 +1,157 @@
+"""Kernel cost models: scaling laws and paper anchors."""
+
+import pytest
+
+from repro.gpusim import (
+    KernelCalibration,
+    TESLA_P100,
+    TESLA_V100,
+    d2h_result_us,
+    dtype_bytes,
+    elementwise_us,
+    gemm_us,
+    h2d_time_us,
+    insertion_sort_us,
+    postprocess_us,
+    result_bytes,
+    top2_scan_us,
+)
+
+SPEC = TESLA_P100
+CAL = KernelCalibration.for_device(SPEC)
+
+
+class TestDtypes:
+    def test_bytes(self):
+        assert dtype_bytes("fp16") == 2
+        assert dtype_bytes("fp32") == 4
+
+    def test_unknown(self):
+        with pytest.raises(ValueError):
+            dtype_bytes("fp64")
+
+
+class TestGemmModel:
+    def test_monotone_in_work(self):
+        t1 = gemm_us(SPEC, CAL, 768, 768, 128, 1, "fp16")
+        t2 = gemm_us(SPEC, CAL, 768, 768, 128, 2, "fp16")
+        assert t2 > t1
+
+    def test_batching_improves_per_image_time(self):
+        t1 = gemm_us(SPEC, CAL, 768, 768, 128, 1, "fp16")
+        t1024 = gemm_us(SPEC, CAL, 768, 768, 128, 1024, "fp16") / 1024
+        assert t1024 < t1 / 2  # the Sec. 5 data-reuse effect
+
+    def test_fp16_beats_fp32(self):
+        t32 = gemm_us(SPEC, CAL, 768, 768, 128, 1, "fp32")
+        t16 = gemm_us(SPEC, CAL, 768, 768, 128, 1, "fp16")
+        assert t16 < t32
+
+    def test_efficiency_never_exceeds_ceiling(self):
+        for batch in (1, 16, 4096):
+            flops = 2.0 * 768 * 768 * 128 * batch
+            t = gemm_us(SPEC, CAL, 768, 768, 128, batch, "fp16")
+            achieved = flops / ((t - SPEC.kernel_launch_us) * 1e-6) / 1e12
+            assert achieved <= SPEC.fp16_tflops * CAL.gemm_fp16.eff_max * 1.001
+
+    def test_tensor_core_helps_only_with_big_batches(self):
+        v_cal = KernelCalibration.for_device(TESLA_V100)
+        small_tc = gemm_us(TESLA_V100, v_cal, 768, 768, 128, 1, "fp16", True)
+        small = gemm_us(TESLA_V100, v_cal, 768, 768, 128, 1, "fp16", False)
+        big_tc = gemm_us(TESLA_V100, v_cal, 768, 768, 128, 1024, "fp16", True)
+        big = gemm_us(TESLA_V100, v_cal, 768, 768, 128, 1024, "fp16", False)
+        assert big_tc < big
+        assert (big / big_tc) > (small / small_tc)  # TC needs data reuse
+
+    def test_invalid_shapes(self):
+        with pytest.raises(ValueError):
+            gemm_us(SPEC, CAL, 0, 768, 128)
+
+
+class TestScanModel:
+    def test_fp16_slower_at_batch_1(self):
+        """Sec. 4.2: the FP16 scan is ~70% slower at batch 1."""
+        t32 = top2_scan_us(SPEC, CAL, 768, 768, "fp32")
+        t16 = top2_scan_us(SPEC, CAL, 768, 768, "fp16")
+        assert 1.4 < t16 / t32 < 2.0
+
+    def test_fp16_faster_at_high_occupancy(self):
+        """At full occupancy the scan is bandwidth bound -> FP16 wins."""
+        cols = 768 * 1024
+        t32 = top2_scan_us(SPEC, CAL, 768, cols, "fp32")
+        t16 = top2_scan_us(SPEC, CAL, 768, cols, "fp16")
+        assert t16 < t32
+
+    def test_insertion_sort_much_slower(self):
+        scan = top2_scan_us(SPEC, CAL, 768, 768, "fp32")
+        insertion = insertion_sort_us(SPEC, CAL, 768, 768, "fp32")
+        assert insertion > 4 * scan  # paper: 81.9% reduction
+
+
+class TestTransferModels:
+    def test_pinned_faster_than_pageable(self):
+        pinned = h2d_time_us(SPEC, 10**8, pinned=True)
+        pageable = h2d_time_us(SPEC, 10**8, pinned=False)
+        assert pageable > pinned
+
+    def test_zero_bytes_free(self):
+        assert h2d_time_us(SPEC, 0) == 0.0
+
+    def test_latency_dominates_small_copies(self):
+        t_small = d2h_result_us(SPEC, CAL, 768, 1, 2, "fp16")
+        assert t_small > 40  # ~45 us initiation latency
+
+    def test_result_bytes(self):
+        # 2 x 768 fp16 distances + 2 x 768 int32 indices
+        assert result_bytes(768, 1, 2, "fp16") == 2 * 768 * 2 + 2 * 768 * 4
+
+    def test_batched_d2h_amortises_latency(self):
+        per_img_1 = d2h_result_us(SPEC, CAL, 768, 1, 2, "fp16")
+        per_img_1024 = d2h_result_us(SPEC, CAL, 768, 1024, 2, "fp16") / 1024
+        assert per_img_1024 < per_img_1 / 10
+
+
+class TestPostprocessModel:
+    def test_batching_reduces_per_image_cost(self):
+        assert postprocess_us(CAL, 1024, "fp16") / 1024 < postprocess_us(CAL, 1, "fp16")
+
+    def test_fp16_conversion_surcharge(self):
+        assert postprocess_us(CAL, 1, "fp16") > postprocess_us(CAL, 1, "fp32")
+
+    def test_scales_with_query_features(self):
+        assert postprocess_us(CAL, 1, "fp16", n=1536) == pytest.approx(
+            2 * postprocess_us(CAL, 1, "fp16", n=768)
+        )
+
+
+class TestElementwise:
+    def test_bandwidth_scaling(self):
+        t1 = elementwise_us(SPEC, CAL, 768 * 768, "fp32")
+        t2 = elementwise_us(SPEC, CAL, 2 * 768 * 768, "fp32")
+        # doubling the elements roughly doubles the bandwidth part
+        assert t2 - SPEC.kernel_launch_us == pytest.approx(
+            2 * (t1 - SPEC.kernel_launch_us), rel=1e-6
+        )
+
+
+PAPER_ANCHORS = [
+    # (description, model_fn, paper_us, tolerance)
+    ("GEMM fp32 b1 (T1)", lambda: gemm_us(SPEC, CAL, 768, 768, 128, 1, "fp32"), 35.22, 0.05),
+    ("GEMM fp16 b1 (T1)", lambda: gemm_us(SPEC, CAL, 768, 768, 128, 1, "fp16"), 24.92, 0.05),
+    ("GEMM fp16 b1024/img (T3)", lambda: gemm_us(SPEC, CAL, 768, 768, 128, 1024, "fp16") / 1024, 11.58, 0.05),
+    ("scan fp32 b1 (T1)", lambda: top2_scan_us(SPEC, CAL, 768, 768, "fp32"), 40.20, 0.05),
+    ("scan fp16 b1 (T1)", lambda: top2_scan_us(SPEC, CAL, 768, 768, "fp16"), 68.32, 0.05),
+    ("scan fp16 b1024/img (T3)", lambda: top2_scan_us(SPEC, CAL, 768, 768 * 1024, "fp16") / 1024, 3.82, 0.05),
+    ("insertion sort fp32 b1 (T1)", lambda: insertion_sort_us(SPEC, CAL, 768, 768, "fp32"), 221.5, 0.05),
+    ("add N_R fp32 (T1)", lambda: elementwise_us(SPEC, CAL, 768 * 768, "fp32"), 8.94, 0.15),
+    ("D2H result fp32 b1 (T1)", lambda: d2h_result_us(SPEC, CAL, 768, 1, 2, "fp32"), 47.32, 0.05),
+    ("D2H fp16 b1024/img (T3)", lambda: d2h_result_us(SPEC, CAL, 768, 1024, 2, "fp16") / 1024, 2.72, 0.05),
+    ("post fp32 b1 (T1)", lambda: postprocess_us(CAL, 1, "fp32"), 12.60, 0.01),
+    ("post fp16 b1024/img (T3)", lambda: postprocess_us(CAL, 1024, "fp16") / 1024, 3.85, 0.01),
+]
+
+
+@pytest.mark.parametrize("desc,fn,paper,tol", PAPER_ANCHORS, ids=[a[0] for a in PAPER_ANCHORS])
+def test_paper_anchor(desc, fn, paper, tol):
+    """Every calibration anchor reproduces its published cell."""
+    assert fn() == pytest.approx(paper, rel=tol)

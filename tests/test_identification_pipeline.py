@@ -1,0 +1,103 @@
+"""The end-to-end IdentificationPipeline (Fig. 2)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AsymmetricExtractor, AsymmetricPolicy, EngineConfig, IdentificationPipeline
+from repro.data import (
+    QUERY_PROFILE,
+    REFERENCE_PROFILE,
+    CaptureSimulator,
+    TeaBrickGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def pipeline_setup():
+    """A pipeline enrolled with 5 bricks (128 px images for speed)."""
+    config = EngineConfig(m=64, n=96, batch_size=2, min_matches=6, scale_factor=0.25)
+    pipeline = IdentificationPipeline(
+        config=config,
+        extractor=AsymmetricExtractor(
+            AsymmetricPolicy(m_reference=64, n_query=96), use_rootsift=False
+        ),
+        min_inliers=5,
+    )
+    generator = TeaBrickGenerator(size=128, seed=31)
+    factory = CaptureSimulator(REFERENCE_PROFILE)
+    canonical = {}
+    for brick in range(5):
+        canonical[brick] = generator.brick(brick)
+        photo = factory.capture(canonical[brick], np.random.default_rng(3000 + brick))
+        count = pipeline.enroll(f"brick-{brick}", photo)
+        assert count > 10
+    return pipeline, canonical, generator
+
+
+class TestIdentify:
+    def test_genuine_photo_accepted(self, pipeline_setup):
+        pipeline, canonical, _gen = pipeline_setup
+        phone = CaptureSimulator(QUERY_PROFILE)
+        photo = phone.capture(canonical[2], np.random.default_rng(31))
+        decision = pipeline.identify(photo)
+        assert decision.accepted
+        assert decision.reference_id == "brick-2"
+        assert decision.inliers >= 5
+        assert decision.good_matches >= 6
+
+    def test_unenrolled_brick_rejected(self, pipeline_setup):
+        pipeline, _canonical, generator = pipeline_setup
+        phone = CaptureSimulator(QUERY_PROFILE)
+        fake = generator.brick(9999)
+        decision = pipeline.identify(phone.capture(fake, np.random.default_rng(32)))
+        assert not decision.accepted
+        assert decision.reference_id is None
+        assert decision.reason
+
+    def test_featureless_image_rejected_early(self, pipeline_setup):
+        pipeline, _canonical, _gen = pipeline_setup
+        decision = pipeline.identify(np.full((128, 128), 0.5, np.float32))
+        assert not decision.accepted
+        assert "query features" in decision.reason
+        assert decision.candidates_checked == 0
+
+
+class TestVerify:
+    def test_genuine_claim(self, pipeline_setup):
+        pipeline, canonical, _gen = pipeline_setup
+        phone = CaptureSimulator(QUERY_PROFILE)
+        photo = phone.capture(canonical[1], np.random.default_rng(33))
+        decision = pipeline.verify("brick-1", photo)
+        assert decision.accepted
+        assert decision.reference_id == "brick-1"
+
+    def test_false_claim(self, pipeline_setup):
+        pipeline, canonical, _gen = pipeline_setup
+        phone = CaptureSimulator(QUERY_PROFILE)
+        photo = phone.capture(canonical[1], np.random.default_rng(34))
+        decision = pipeline.verify("brick-3", photo)
+        assert not decision.accepted
+
+    def test_unknown_reference(self, pipeline_setup):
+        pipeline, canonical, _gen = pipeline_setup
+        decision = pipeline.verify("ghost", canonical[0])
+        assert not decision.accepted
+        assert "unknown" in decision.reason
+
+
+class TestManagement:
+    def test_remove(self, pipeline_setup):
+        pipeline, canonical, _gen = pipeline_setup
+        # add a disposable brick, then remove it
+        extra = TeaBrickGenerator(size=128, seed=77).brick(0)
+        pipeline.enroll("temp", extra)
+        n = pipeline.n_references
+        assert pipeline.remove("temp")
+        assert pipeline.n_references == n - 1
+        assert not pipeline.remove("temp")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            IdentificationPipeline(min_inliers=1)
+        with pytest.raises(ValueError):
+            IdentificationPipeline(verify_top=0)

@@ -1,0 +1,105 @@
+"""Multi-stream scheduler model and CPU-thread partitioning."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.gpusim import KernelCalibration, TESLA_P100
+from repro.pipeline import (
+    batch_component_times,
+    interleave_schedules,
+    partition_equally,
+    plan_streams,
+    stream_extra_gpu_bytes,
+)
+
+SPEC = TESLA_P100
+CAL = KernelCalibration.for_device(SPEC)
+
+
+class TestPartition:
+    def test_even_split(self):
+        assert partition_equally([1, 2, 3, 4], 2) == [[1, 2], [3, 4]]
+
+    def test_uneven_split(self):
+        parts = partition_equally(list(range(10)), 3)
+        assert [len(p) for p in parts] == [4, 3, 3]
+        assert sum(parts, []) == list(range(10))
+
+    def test_more_workers_than_items(self):
+        parts = partition_equally([1], 3)
+        assert parts == [[1], [], []]
+
+    def test_invalid_workers(self):
+        with pytest.raises(ValueError):
+            partition_equally([1], 0)
+
+    @given(st.lists(st.integers(), max_size=50), st.integers(1, 8))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_properties(self, items, workers):
+        parts = partition_equally(items, workers)
+        assert len(parts) == workers
+        assert sum(parts, []) == items  # order preserved, nothing lost
+        sizes = [len(p) for p in parts]
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_interleave(self):
+        assert interleave_schedules([[1, 3], [2, 4], [5]]) == [1, 2, 5, 3, 4]
+
+    def test_interleave_empty(self):
+        assert interleave_schedules([]) == []
+
+
+class TestStreamPlan:
+    def test_more_streams_more_throughput(self):
+        speeds = [
+            plan_streams(SPEC, CAL, s, 512).throughput_images_per_s for s in (1, 2, 4, 8)
+        ]
+        assert speeds == sorted(speeds)
+
+    def test_never_exceeds_theoretical(self):
+        for streams in (1, 2, 4, 8, 16):
+            plan = plan_streams(SPEC, CAL, streams, 512)
+            assert plan.throughput_images_per_s <= plan.theoretical_images_per_s * 1.0001
+
+    def test_table6_efficiency_band(self):
+        """Paper: 52.5% at 1 stream -> 87.3% at 8 streams (batch 512)."""
+        eff1 = plan_streams(SPEC, CAL, 1, 512).schedule_efficiency
+        eff8 = plan_streams(SPEC, CAL, 8, 512).schedule_efficiency
+        assert 0.40 < eff1 < 0.60
+        assert 0.80 < eff8 < 0.95
+
+    def test_theoretical_speed_matches_paper(self):
+        """Sec. 6.2: PCIe-bound theoretical speed ~47,592 img/s."""
+        plan = plan_streams(SPEC, CAL, 1, 512)
+        assert plan.theoretical_images_per_s == pytest.approx(47592, rel=0.02)
+
+    def test_extra_memory_matches_table6(self):
+        """Table 6 footprints: 0.989 GB (1 stream) -> 5.819 GB (8)."""
+        one = stream_extra_gpu_bytes(1, 512, 768, 768)
+        eight = stream_extra_gpu_bytes(8, 512, 768, 768)
+        assert one == pytest.approx(0.989e9, rel=0.1)
+        assert eight == pytest.approx(5.819e9, rel=0.1)
+
+    def test_memory_linear_in_streams(self):
+        marginal1 = stream_extra_gpu_bytes(2, 256, 768, 768) - stream_extra_gpu_bytes(1, 256, 768, 768)
+        marginal2 = stream_extra_gpu_bytes(3, 256, 768, 768) - stream_extra_gpu_bytes(2, 256, 768, 768)
+        assert marginal1 == marginal2
+
+    def test_compute_bound_cap(self):
+        """At m=384 the transfer halves and compute becomes the
+        bottleneck — throughput must cap below PCIe-bound theoretical."""
+        plan = plan_streams(SPEC, CAL, 16, 512, m=384)
+        compute_cap = 512 / (plan.compute_us + plan.d2h_us) * 1e6
+        assert plan.throughput_images_per_s <= compute_cap * 1.0001
+
+    def test_with_norms_adds_transfer(self):
+        without = batch_component_times(SPEC, CAL, 768, 768, 128, 64)
+        with_n = batch_component_times(SPEC, CAL, 768, 768, 128, 64, with_norms=True)
+        assert with_n["h2d"] > without["h2d"]
+        assert with_n["compute"] > without["compute"]
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValueError):
+            plan_streams(SPEC, CAL, 0, 512)
+        with pytest.raises(ValueError):
+            stream_extra_gpu_bytes(0, 512, 768, 768)

@@ -1,0 +1,50 @@
+"""The top-level public API surface stays importable and coherent."""
+
+import importlib
+
+import pytest
+
+import repro
+
+SUBPACKAGES = [
+    "repro.core", "repro.gpusim", "repro.blas", "repro.fp16",
+    "repro.features", "repro.geometry", "repro.cache", "repro.pipeline",
+    "repro.baselines", "repro.data", "repro.metrics", "repro.distributed",
+    "repro.bench", "repro.bench.experiments",
+]
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_subpackage_imports(name):
+    module = importlib.import_module(name)
+    assert hasattr(module, "__all__") or name == "repro.bench.experiments"
+
+
+@pytest.mark.parametrize("name", SUBPACKAGES)
+def test_all_names_resolve(name):
+    module = importlib.import_module(name)
+    for symbol in getattr(module, "__all__", []):
+        assert hasattr(module, symbol), f"{name}.{symbol} missing"
+
+
+def test_top_level_exports():
+    for symbol in repro.__all__:
+        assert hasattr(repro, symbol)
+    assert repro.__version__ == "1.0.0"
+
+
+def test_quickstart_snippet_shape():
+    """The README quickstart must keep working verbatim."""
+    import numpy as np
+
+    from repro import EngineConfig, TextureSearchEngine
+
+    engine = TextureSearchEngine(EngineConfig(m=384, n=768))
+    rng = np.random.default_rng(0)
+    desc = rng.gamma(0.6, 1.0, (128, 100)).astype(np.float32)
+    desc = desc / np.linalg.norm(desc, axis=0, keepdims=True) * 512
+    engine.add_reference("brick-0", desc)
+    engine.flush()
+    result = engine.search(desc)
+    assert result.best().reference_id == "brick-0"
+    assert result.throughput_images_per_s > 0

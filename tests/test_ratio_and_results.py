@@ -1,0 +1,100 @@
+"""Ratio test, match counting, and result containers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ImageMatch,
+    KnnResult,
+    SearchResult,
+    good_match_count,
+    match_images,
+    ratio_test_mask,
+    verify_pair,
+)
+
+
+class TestRatioTest:
+    def test_basic(self):
+        d = np.array([[1.0, 3.0, 0.5], [2.0, 3.5, 2.0]])
+        mask = ratio_test_mask(d, 0.8)
+        np.testing.assert_array_equal(mask, [True, False, True])
+
+    def test_zero_second_neighbour_never_passes(self):
+        d = np.array([[0.0], [0.0]])
+        assert not ratio_test_mask(d, 0.8)[0]
+
+    def test_threshold_validation(self):
+        d = np.ones((2, 3))
+        with pytest.raises(ValueError):
+            ratio_test_mask(d, 1.0)
+        with pytest.raises(ValueError):
+            ratio_test_mask(d, 0.0)
+
+    def test_needs_two_rows(self):
+        with pytest.raises(ValueError):
+            ratio_test_mask(np.ones((1, 3)), 0.8)
+
+    @given(st.floats(0.05, 0.95))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_threshold(self, threshold):
+        rng = np.random.default_rng(0)
+        d = np.sort(rng.random((2, 50)), axis=0)
+        strict = good_match_count(d, threshold / 2)
+        loose = good_match_count(d, threshold)
+        assert strict <= loose
+
+
+class TestMatchImages:
+    def _knn(self):
+        distances = np.array([[1.0, 5.0, 0.2], [2.0, 5.2, 4.0]])
+        indices = np.array([[3, 1, 7], [4, 2, 8]], dtype=np.int32)
+        return KnnResult(distances=distances, indices=indices)
+
+    def test_counts(self):
+        match = match_images("ref-a", self._knn(), 0.8)
+        assert match.reference_id == "ref-a"
+        assert match.good_matches == 2
+        assert match.n_query_features == 3
+        assert match.match_mask is None
+
+    def test_keep_mask(self):
+        match = match_images("ref-a", self._knn(), 0.8, keep_mask=True)
+        np.testing.assert_array_equal(match.match_mask, [True, False, True])
+        np.testing.assert_array_equal(match.matched_reference_indices, [3, 7])
+
+    def test_verify_pair(self):
+        same, count = verify_pair(self._knn(), 0.8, min_matches=2)
+        assert same and count == 2
+        same, _ = verify_pair(self._knn(), 0.8, min_matches=3)
+        assert not same
+
+
+class TestResultContainers:
+    def test_knn_shape_check(self):
+        with pytest.raises(ValueError):
+            KnnResult(np.ones((2, 3)), np.ones((2, 4), np.int32))
+
+    def test_search_result_ranking(self):
+        result = SearchResult(
+            matches=[
+                ImageMatch("a", 3, 10),
+                ImageMatch("b", 7, 10),
+                ImageMatch("c", 7, 10),
+            ],
+            elapsed_us=1000.0,
+            images_searched=3,
+        )
+        top = result.top(2)
+        assert [m.reference_id for m in top] == ["b", "c"]  # id tiebreak
+        assert result.best().reference_id == "b"
+        assert result.throughput_images_per_s == pytest.approx(3000.0)
+
+    def test_inliers_override_score(self):
+        match = ImageMatch("a", 9, 10, inliers=2)
+        assert match.score == 2
+
+    def test_empty_result(self):
+        assert SearchResult().best() is None
+        assert SearchResult().throughput_images_per_s == 0.0

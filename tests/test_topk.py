@@ -1,0 +1,87 @@
+"""Top-k selection kernels."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.core import functional_topk, insertion_topk, top2_scan
+
+
+class TestFunctionalTopk:
+    def test_matches_full_sort(self):
+        rng = np.random.default_rng(0)
+        a = rng.random((50, 20))
+        vals, idx = functional_topk(a, 3)
+        expected = np.sort(a, axis=0)[:3]
+        np.testing.assert_allclose(vals, expected)
+
+    def test_indices_consistent_with_values(self):
+        rng = np.random.default_rng(1)
+        a = rng.random((30, 10))
+        vals, idx = functional_topk(a, 2)
+        np.testing.assert_allclose(np.take_along_axis(a, idx, axis=0), vals)
+
+    def test_tiebreak_lowest_index(self):
+        a = np.array([[1.0, 2.0], [1.0, 1.0], [0.5, 1.0]])
+        _vals, idx = functional_topk(a, 2)
+        np.testing.assert_array_equal(idx[:, 0], [2, 0])
+        np.testing.assert_array_equal(idx[:, 1], [1, 2])
+
+    def test_k_equals_m(self):
+        a = np.array([[3.0], [1.0], [2.0]])
+        vals, idx = functional_topk(a, 3)
+        np.testing.assert_allclose(vals[:, 0], [1, 2, 3])
+
+    def test_k_out_of_range(self):
+        with pytest.raises(ValueError):
+            functional_topk(np.ones((3, 2)), 4)
+        with pytest.raises(ValueError):
+            functional_topk(np.ones((3, 2)), 0)
+
+    def test_rejects_1d(self):
+        with pytest.raises(ValueError):
+            functional_topk(np.ones(5), 1)
+
+    @given(
+        hnp.arrays(
+            np.float64,
+            shape=st.tuples(st.integers(2, 40), st.integers(1, 12)),
+            elements=st.floats(-1e6, 1e6),
+        ),
+        st.integers(1, 2),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_property_vs_sort(self, a, k):
+        k = min(k, a.shape[0])
+        vals, _ = functional_topk(a, k)
+        np.testing.assert_allclose(vals, np.sort(a, axis=0)[:k])
+
+
+class TestDeviceTopk:
+    def test_scan_and_insertion_agree(self, p100):
+        rng = np.random.default_rng(2)
+        a = rng.random((64, 16))
+        v1, i1 = top2_scan(p100, a, "fp32")
+        v2, i2 = insertion_topk(p100, a, 2, "fp32")
+        np.testing.assert_allclose(v1, v2)
+        np.testing.assert_array_equal(i1, i2)
+
+    def test_scan_charged_cheaper_than_insertion(self, p100, v100):
+        rng = np.random.default_rng(3)
+        a = rng.random((768, 768))
+        top2_scan(p100, a, "fp32")
+        scan_time = p100.elapsed_us()
+        insertion_topk(v100, a, 2, "fp32")
+        insertion_time = v100.elapsed_us()
+        assert insertion_time > scan_time
+
+    def test_general_k_supported_by_insertion(self, p100):
+        rng = np.random.default_rng(4)
+        a = rng.random((32, 8))
+        vals, _ = insertion_topk(p100, a, 5, "fp32")
+        assert vals.shape == (5, 8)
+
+    def test_bad_sort_kind_shapes(self, p100):
+        with pytest.raises(ValueError):
+            top2_scan(p100, np.ones(4))
