@@ -1,0 +1,55 @@
+"""Fault tolerance — throughput/recall under injected failures, plus the
+wall-clock cost of a fault-gated scatter-gather."""
+
+import numpy as np
+
+from conftest import attach_summary, record_result
+from repro.bench.experiments import fault_tolerance
+from repro.core import EngineConfig
+from repro.distributed import (
+    DistributedSearchSystem,
+    FaultInjector,
+    FaultSpec,
+    RetryPolicy,
+)
+
+
+def test_fault_tolerance_sweep(benchmark):
+    result = fault_tolerance.run()
+    record_result(result)
+    attach_summary(benchmark, result)
+    benchmark.pedantic(
+        fault_tolerance.run,
+        kwargs=dict(n_nodes=4, n_refs=8, n_queries=4, failure_rates=(0.0, 0.1)),
+        rounds=1, iterations=1,
+    )
+    # a clean cluster must be answer-perfect, and the layer must keep
+    # recall high while failing over under the worst injected rate
+    assert result.summary["clean_recall"] == 1.0
+    assert result.summary["worst_rate_recall"] >= 0.75
+    assert result.summary["total_failed_over"] > 0
+    assert result.summary["worst_rate_images_per_s"] > 0
+
+
+def test_faulty_search_kernel(benchmark):
+    """Wall-clock of one scatter-gather with the fault gate active.
+
+    Slow-node faults keep every iteration complete (the benchmark loop
+    runs the search thousands of times, so rate-based crashes would
+    eventually kill every container mid-run)."""
+    rng = np.random.default_rng(0)
+    cfg = EngineConfig(m=64, n=64, batch_size=4, min_matches=5, scale_factor=0.25)
+    injector = FaultInjector(FaultSpec(slow_rate=0.2, slow_multiplier=4.0), seed=0)
+    system = DistributedSearchSystem(
+        4, cfg,
+        fault_injector=injector,
+        retry_policy=RetryPolicy(max_attempts=4, backoff_us=500.0),
+    )
+    descs = {}
+    for i in range(16):
+        d = rng.random((128, 64)).astype(np.float32)
+        descs[i] = d / np.linalg.norm(d, axis=0, keepdims=True) * 512
+        system.add(f"r{i}", descs[i])
+    query = np.abs(descs[7] + rng.normal(0, 3, descs[7].shape)).astype(np.float32)
+    result = benchmark(system.search, query)
+    assert result.best().reference_id == "r7"

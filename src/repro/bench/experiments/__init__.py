@@ -6,6 +6,7 @@ from types import SimpleNamespace
 from . import (
     ablations,
     device_sweep,
+    fault_tolerance,
     fig1_waterfall,
     fig4_batching,
     sec8_distributed,
@@ -29,6 +30,7 @@ ALL_EXPERIMENTS = {
     "table6": table6_streams,
     "table7": table7_asymmetric,
     "sec8": sec8_distributed,
+    "fault-tolerance": fault_tolerance,
     # design-choice ablations (DESIGN.md Sec. 4)
     "ablation-sort": SimpleNamespace(run=ablations.run_sort_ablation),
     "ablation-query-batch": SimpleNamespace(run=ablations.run_query_batch_ablation),
@@ -43,6 +45,7 @@ __all__ = [
     "ALL_EXPERIMENTS",
     "ablations",
     "device_sweep",
+    "fault_tolerance",
     "fig1_waterfall",
     "fig4_batching",
     "sec8_distributed",

@@ -92,12 +92,35 @@ class HybridFeatureCache:
                 f"batch of {nbytes} B exceeds the GPU cache budget "
                 f"{self.gpu_budget_bytes} B"
             )
+        # Re-adding an id supersedes the cached copy wherever it lives —
+        # otherwise the id would appear twice in the FIFO order (batches()
+        # would yield it twice and total_images double-count) and a
+        # replaced GPU copy would leak its device allocation.
+        if batch.batch_id in self._gpu:
+            old = self._gpu.pop(batch.batch_id).value
+            if old.gpu_allocation is not None:
+                self.device.free(old.gpu_allocation)
+        elif batch.batch_id in self._host:
+            self._host.pop(batch.batch_id)
+        if batch.batch_id in self._order:
+            self._order.remove(batch.batch_id)
         cached = CachedBatch(batch=batch, location=CacheLocation.GPU)
-        cached.gpu_allocation = self._alloc_gpu(nbytes, f"batch{batch.batch_id}")
-        evicted = self._gpu.put(batch.batch_id, cached, nbytes)
-        self._order.append(batch.batch_id)
-        for _key, entry in evicted:
-            self._demote(entry.value)
+        try:
+            cached.gpu_allocation = self._alloc_gpu(nbytes, f"batch{batch.batch_id}")
+            evicted = self._gpu.put(batch.batch_id, cached, nbytes)
+            self._order.append(batch.batch_id)
+            for _key, entry in evicted:
+                self._demote(entry.value)
+        except CacheCapacityError:
+            # whatever overflowed was dropped from the levels; drop its
+            # id from the FIFO order too so batches() stays consistent
+            self._prune_order()
+            raise
+
+    def _prune_order(self) -> None:
+        self._order = [
+            bid for bid in self._order if bid in self._gpu or bid in self._host
+        ]
 
     def _alloc_gpu(self, nbytes: int, label: str) -> Allocation:
         # Free device memory can be below our budget if other engine

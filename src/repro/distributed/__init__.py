@@ -1,8 +1,17 @@
 """Distributed texture search substrate (Sec. 8, Fig. 6): protobuf-like
 serialization, a Redis-like KV store, GPU container nodes, the sharded
-scatter-gather cluster, and the RESTful API layer."""
+scatter-gather cluster, the RESTful API layer, and the fault-tolerance
+layer (health states, deterministic fault injection, retries and
+partial-result degradation)."""
 
-from .cluster import ClusterSearchResult, DistributedSearchSystem, WEB_TIER_OVERHEAD_US
+from .cluster import (
+    ClusterSearchResult,
+    DistributedSearchSystem,
+    RetryPolicy,
+    WEB_TIER_OVERHEAD_US,
+)
+from .faults import FaultInjector, FaultSpec
+from .health import HealthPolicy, HealthTracker, NodeHealth
 from .kvstore import KVStore
 from .loadbalancer import DispatchRecord, WebTier
 from .node import NodeConfig, SearchNode
@@ -20,7 +29,13 @@ __all__ = [
     "ClusterSearchResult",
     "ConsistentHashPlacement",
     "DispatchRecord",
+    "FaultInjector",
+    "FaultSpec",
+    "HealthPolicy",
+    "HealthTracker",
+    "NodeHealth",
     "PlacementPolicy",
+    "RetryPolicy",
     "RoundRobinPlacement",
     "DistributedSearchSystem",
     "FeatureRecord",

@@ -20,27 +20,72 @@ import numpy as np
 
 from ..core.config import EngineConfig
 from ..core.results import ImageMatch, SearchResult
-from ..errors import ClusterError
+from ..errors import (
+    ClusterError,
+    DegradedClusterError,
+    NodeDownError,
+    TransientNodeError,
+)
 from ..gpusim.device import DeviceSpec, TESLA_P100
+from .health import NodeHealth
 from .kvstore import KVStore
 from .node import NodeConfig, SearchNode
 from .serialization import FeatureRecord, serialize_record
 
-__all__ = ["ClusterSearchResult", "DistributedSearchSystem"]
+__all__ = ["ClusterSearchResult", "DistributedSearchSystem", "RetryPolicy"]
 
 #: request routing + result aggregation overhead of the web tier per
 #: search (REST parsing, Redis metadata lookups, fan-out RPC).
 WEB_TIER_OVERHEAD_US = 2000.0
 
 
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-node retry/timeout knobs for scatter-gather searches.
+
+    A node attempt fails on a transient error or when its simulated
+    latency exceeds ``timeout_us`` (0 disables the timeout).  Failed
+    attempts are retried up to ``max_attempts`` total, waiting
+    ``backoff_us * backoff_multiplier**retry`` of simulated time before
+    each retry; a node that exhausts its attempts is skipped and its
+    shard reported unsearched.
+    """
+
+    max_attempts: int = 3
+    timeout_us: float = 0.0
+    backoff_us: float = 1000.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if self.timeout_us < 0 or self.backoff_us < 0:
+            raise ValueError("timeout_us and backoff_us must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+
+    def backoff_for(self, retry_index: int) -> float:
+        """Simulated wait before the ``retry_index``-th retry (0-based)."""
+        return self.backoff_us * self.backoff_multiplier**retry_index
+
+
 @dataclass
 class ClusterSearchResult:
-    """Scatter-gather outcome across the whole cluster."""
+    """Scatter-gather outcome across the whole cluster.
+
+    ``partial`` is True when at least one populated shard could not be
+    searched (its node was down, timing out, or erroring past the retry
+    budget); ``unsearched_shards`` lists those node ids and ``retries``
+    counts the extra attempts the gather spent.
+    """
 
     matches: list[ImageMatch]
     per_node: dict[str, SearchResult]
     elapsed_us: float
     images_searched: int
+    partial: bool = False
+    unsearched_shards: list[str] = field(default_factory=list)
+    retries: int = 0
 
     def best(self) -> ImageMatch | None:
         if not self.matches:
@@ -69,13 +114,31 @@ class DistributedSearchSystem:
         node_config: NodeConfig | None = None,
         store: KVStore | None = None,
         placement: str = "round-robin",
+        retry_policy: RetryPolicy | None = None,
+        min_shard_fraction: float = 0.0,
+        auto_failover: bool = True,
+        fault_injector=None,
+        health_policy=None,
     ) -> None:
         if n_nodes < 1:
             raise ClusterError("a cluster needs at least one node")
+        if not 0.0 <= min_shard_fraction <= 1.0:
+            raise ClusterError("min_shard_fraction must be in [0, 1]")
         self.engine_config = engine_config or EngineConfig(m=384, n=768)
         self.store = store or KVStore()
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.min_shard_fraction = float(min_shard_fraction)
+        self.auto_failover = bool(auto_failover)
+        self._node_config = node_config
+        self._device_spec = device_spec
+        self._health_policy = health_policy
+        self._node_seq = n_nodes  # next fresh node index (ids are never reused)
+        self.fault_injector = None
         self.nodes = [
-            SearchNode(f"gpu-{i:02d}", self.engine_config, device_spec, node_config)
+            SearchNode(
+                f"gpu-{i:02d}", self.engine_config, device_spec, node_config,
+                health_policy=health_policy,
+            )
             for i in range(n_nodes)
         ]
         from .sharding import ConsistentHashPlacement, RoundRobinPlacement
@@ -88,6 +151,8 @@ class DistributedSearchSystem:
         else:
             raise ClusterError(f"unknown placement policy {placement!r}")
         self._placement: dict[str, str] = {}
+        if fault_injector is not None:
+            fault_injector.install(self)
 
     # ------------------------------------------------------------------
     def _node_by_id(self, node_id: str) -> SearchNode:
@@ -139,12 +204,23 @@ class DistributedSearchSystem:
     # elasticity / failover
     # ------------------------------------------------------------------
     def add_node(self, device_spec: DeviceSpec | None = None) -> SearchNode:
-        """Attach a fresh (empty) GPU container to the cluster."""
+        """Attach a fresh (empty) GPU container to the cluster.
+
+        Ids are minted from a monotonically increasing sequence, never
+        from the current node count: after ``remove_node`` the count
+        shrinks, and reusing it would mint an id that already exists,
+        corrupting placement.
+        """
         node = SearchNode(
-            f"gpu-{len(self.nodes):02d}",
+            f"gpu-{self._node_seq:02d}",
             self.engine_config,
             device_spec or self.nodes[0].engine.device.spec,
+            self._node_config,
+            health_policy=self._health_policy,
         )
+        self._node_seq += 1
+        if self.fault_injector is not None:
+            node.fault_injector = self.fault_injector
         self.nodes.append(node)
         self.placement.add_node(node.node_id)
         return node
@@ -179,25 +255,97 @@ class DistributedSearchSystem:
         return len(orphaned)
 
     # ------------------------------------------------------------------
+    # fault-tolerant scatter-gather
+    # ------------------------------------------------------------------
+    def _attempt_with_retry(self, node: SearchNode, op):
+        """Run one node operation under the retry policy.
+
+        ``op(node)`` must return ``(payload, elapsed_us)``.  Returns
+        ``(payload | None, node_time_us, retries)``: ``None`` means the
+        shard went unsearched; ``node_time_us`` is the simulated time
+        this node kept the gather waiting (failed attempts included).
+        """
+        policy = self.retry_policy
+        spent_us = 0.0
+        retries = 0
+        for attempt in range(policy.max_attempts):
+            try:
+                payload, elapsed_us = op(node)
+            except NodeDownError:
+                # a dead container fails fast; no point retrying it
+                return None, spent_us, retries
+            except TransientNodeError:
+                if node.health.state is NodeHealth.DOWN:
+                    # the failure streak just crossed the down threshold
+                    return None, spent_us, retries
+                if attempt + 1 >= policy.max_attempts:
+                    return None, spent_us, retries
+                spent_us += policy.backoff_for(attempt)
+                retries += 1
+                continue
+            if policy.timeout_us and elapsed_us > policy.timeout_us:
+                # the caller hangs up at the deadline; the node's work
+                # past it is wasted, so only the budget is charged
+                spent_us += policy.timeout_us
+                node.health.record_failure()
+                if node.health.state is NodeHealth.DOWN or attempt + 1 >= policy.max_attempts:
+                    return None, spent_us, retries
+                spent_us += policy.backoff_for(attempt)
+                retries += 1
+                continue
+            return payload, spent_us + elapsed_us, retries
+        return None, spent_us, retries
+
+    def _populated_nodes(self) -> list[SearchNode]:
+        return [node for node in self.nodes if node.n_references > 0]
+
+    def _check_degradation(self, populated: list[SearchNode], unsearched: list[str]) -> None:
+        searched = len(populated) - len(unsearched)
+        if populated and searched / len(populated) < self.min_shard_fraction:
+            raise DegradedClusterError(searched, len(populated), self.min_shard_fraction)
+
     def search(self, query_descriptors: np.ndarray) -> ClusterSearchResult:
-        """Scatter the query to all nodes, gather and rank the results."""
+        """Scatter the query to all serving nodes, gather and rank.
+
+        Nodes that are down, keep erroring, or exceed the per-attempt
+        timeout are skipped after bounded retries: the result comes back
+        ``partial=True`` with their shards listed in
+        ``unsearched_shards``.  If fewer than ``min_shard_fraction`` of
+        the populated shards answered, :class:`DegradedClusterError` is
+        raised instead.  With ``auto_failover`` enabled, nodes that went
+        ``DOWN`` during the gather are decommissioned afterwards and
+        their shards re-hydrated from the KV store onto the survivors.
+        """
         per_node: dict[str, SearchResult] = {}
         matches: list[ImageMatch] = []
         slowest_us = 0.0
         images = 0
-        for node in self.nodes:
-            if node.n_references == 0:
+        retries = 0
+        unsearched: list[str] = []
+        populated = self._populated_nodes()
+        for node in populated:
+            result, node_us, node_retries = self._attempt_with_retry(
+                node, lambda n: (r := n.search(query_descriptors), r.elapsed_us)
+            )
+            slowest_us = max(slowest_us, node_us)
+            retries += node_retries
+            if result is None:
+                unsearched.append(node.node_id)
                 continue
-            result = node.search(query_descriptors)
             per_node[node.node_id] = result
             matches.extend(result.matches)
-            slowest_us = max(slowest_us, result.elapsed_us)
             images += result.images_searched
+        if self.auto_failover:
+            self.repair()
+        self._check_degradation(populated, unsearched)
         return ClusterSearchResult(
             matches=matches,
             per_node=per_node,
             elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US,
             images_searched=images,
+            partial=bool(unsearched),
+            unsearched_shards=unsearched,
+            retries=retries,
         )
 
     def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[ClusterSearchResult]:
@@ -206,33 +354,100 @@ class DistributedSearchSystem:
         Each node answers the whole query group in one sweep
         (:meth:`TextureSearchEngine.search_many`); per-query results are
         then gathered.  All queries share the group's completion time.
+        Fault handling matches :meth:`search`, at group granularity: a
+        node that fails its retries leaves *every* query's result
+        partial.  Aggregate accounting is taken per grouped result — a
+        node's contribution to a query's ``images_searched`` is that
+        query's own count, and its latency is the slowest member of the
+        group, not whatever ``grouped[0]`` happened to report.
         """
         if not query_descriptor_list:
             return []
         n_queries = len(query_descriptor_list)
         per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
         per_node_all: list[dict[str, SearchResult]] = [dict() for _ in range(n_queries)]
+        per_query_images = [0] * n_queries
         slowest_us = 0.0
-        images = 0
-        for node in self.nodes:
-            if node.n_references == 0:
+        retries = 0
+        unsearched: list[str] = []
+        populated = self._populated_nodes()
+        for node in populated:
+            grouped, node_us, node_retries = self._attempt_with_retry(
+                node,
+                lambda n: (
+                    g := n.search_many(query_descriptor_list),
+                    max(r.elapsed_us for r in g),
+                ),
+            )
+            slowest_us = max(slowest_us, node_us)
+            retries += node_retries
+            if grouped is None:
+                unsearched.append(node.node_id)
                 continue
-            grouped = node.engine.search_many(query_descriptor_list)
-            slowest_us = max(slowest_us, grouped[0].elapsed_us)
-            images += grouped[0].images_searched
             for q, result in enumerate(grouped):
                 per_query_matches[q].extend(result.matches)
                 per_node_all[q][node.node_id] = result
+                per_query_images[q] += result.images_searched
+        if self.auto_failover:
+            self.repair()
+        self._check_degradation(populated, unsearched)
         elapsed = slowest_us + WEB_TIER_OVERHEAD_US
         return [
             ClusterSearchResult(
                 matches=per_query_matches[q],
                 per_node=per_node_all[q],
                 elapsed_us=elapsed,
-                images_searched=images,
+                images_searched=per_query_images[q],
+                partial=bool(unsearched),
+                unsearched_shards=list(unsearched),
+                retries=retries,
             )
             for q in range(n_queries)
         ]
+
+    # ------------------------------------------------------------------
+    # health / failover
+    # ------------------------------------------------------------------
+    def heartbeats(self) -> list[dict]:
+        """Poll every container's health-check endpoint."""
+        return [node.heartbeat() for node in self.nodes]
+
+    def health_report(self) -> dict:
+        """Cluster-level health rollup for the ``GET /health`` route."""
+        beats = self.heartbeats()
+        states = [beat["state"] for beat in beats]
+        if all(state == NodeHealth.DOWN.value for state in states):
+            status = "down"
+        elif all(state == NodeHealth.UP.value for state in states):
+            status = "up"
+        else:
+            status = "degraded"
+        return {
+            "status": status,
+            "nodes": beats,
+            "references": self.n_references,
+            "min_shard_fraction": self.min_shard_fraction,
+        }
+
+    def repair(self) -> list[str]:
+        """Fail over every ``DOWN`` node.
+
+        Each dead container is decommissioned through the
+        :meth:`remove_node` machinery: its placement entries are
+        re-hydrated from the KV store onto the survivors (references
+        whose blobs were lost are dropped).  The last node is never
+        removed — an all-down cluster has nowhere to fail over to.
+        Returns the ids of the nodes failed over.
+        """
+        repaired: list[str] = []
+        for node in list(self.nodes):
+            if node.health.state is not NodeHealth.DOWN:
+                continue
+            if len(self.nodes) <= 1:
+                break
+            self.remove_node(node.node_id)
+            repaired.append(node.node_id)
+        return repaired
 
     # ------------------------------------------------------------------
     @property

@@ -22,6 +22,17 @@ class KVStore:
         self._strings: dict[str, bytes] = {}
         self._hashes: dict[str, dict[str, bytes]] = {}
         self._lock = threading.RLock()
+        self._read_fault = None
+
+    def set_read_fault(self, hook) -> None:
+        """Install a blob-loss hook for fault injection.
+
+        ``hook(key) -> bool`` is consulted on every :meth:`get`; a true
+        return makes the key read back as missing (the stored bytes are
+        untouched, mirroring an unreachable/corrupt Redis entry rather
+        than a deletion).  Pass ``None`` to clear.
+        """
+        self._read_fault = hook
 
     # -- string commands ------------------------------------------------
     def set(self, key: str, value: bytes) -> None:
@@ -31,6 +42,8 @@ class KVStore:
             self._strings[str(key)] = bytes(value)
 
     def get(self, key: str) -> bytes | None:
+        if self._read_fault is not None and self._read_fault(str(key)):
+            return None
         with self._lock:
             return self._strings.get(str(key))
 

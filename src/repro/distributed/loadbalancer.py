@@ -32,7 +32,12 @@ class DispatchRecord:
 
     @property
     def latency_us(self) -> float:
-        return self.completed_us
+        """Time the request spent on its worker (completion − start).
+
+        ``completed_us`` alone is an absolute worker-clock reading, so
+        any queued request would report every predecessor's time too.
+        """
+        return self.completed_us - self.started_us
 
 
 class WebTier:
@@ -90,6 +95,11 @@ class WebTier:
         """Dispatch a burst arriving simultaneously; returns records in
         submission order.  Makespan is :meth:`makespan_us` afterwards."""
         return [self.handle(request) for request in requests]
+
+    def health(self) -> Response:
+        """Health-check the cluster through a web worker (the probe is
+        a real request: it is load-balanced and charged like any other)."""
+        return self.handle(Request("GET", "/health")).response
 
     def makespan_us(self) -> float:
         """Completion time of the busiest worker."""

@@ -15,8 +15,10 @@ import numpy as np
 from ..core.config import EngineConfig
 from ..core.engine import TextureSearchEngine
 from ..core.results import SearchResult
+from ..errors import NodeDownError, TransientNodeError
 from ..gpusim.device import DeviceSpec, TESLA_P100
 from ..gpusim.engine_model import GPUDevice
+from .health import HealthPolicy, HealthTracker, NodeHealth
 from .kvstore import KVStore
 from .serialization import FeatureRecord, deserialize_record
 
@@ -43,6 +45,7 @@ class SearchNode:
         engine_config: EngineConfig | None = None,
         device_spec: DeviceSpec = TESLA_P100,
         node_config: NodeConfig | None = None,
+        health_policy: HealthPolicy | None = None,
     ) -> None:
         self.node_id = str(node_id)
         self.node_config = node_config or NodeConfig()
@@ -53,6 +56,32 @@ class SearchNode:
             host_cache_bytes=self.node_config.host_cache_bytes,
             pinned=self.node_config.pinned,
         )
+        self.health = HealthTracker(health_policy)
+        #: optional :class:`~repro.distributed.faults.FaultInjector`
+        #: consulted on every search-path operation.
+        self.fault_injector = None
+
+    # ------------------------------------------------------------------
+    # fault gating
+    # ------------------------------------------------------------------
+    def _gate(self) -> float:
+        """Admission check for one search-path operation.
+
+        Returns the injected latency multiplier; records the health
+        transition for injected crashes/transients before re-raising.
+        """
+        if self.health.state is NodeHealth.DOWN:
+            raise NodeDownError(self.node_id)
+        if self.fault_injector is None:
+            return 1.0
+        try:
+            return self.fault_injector.on_node_op(self.node_id)
+        except NodeDownError:
+            self.health.record_crash()
+            raise
+        except TransientNodeError:
+            self.health.record_failure()
+            raise
 
     # ------------------------------------------------------------------
     def add(self, ref_id: str, descriptors: np.ndarray) -> None:
@@ -77,7 +106,44 @@ class SearchNode:
         return self.engine.has_reference(ref_id)
 
     def search(self, query_descriptors: np.ndarray) -> SearchResult:
-        return self.engine.search(query_descriptors)
+        multiplier = self._gate()
+        result = self.engine.search(query_descriptors)
+        if multiplier != 1.0:
+            result.elapsed_us *= multiplier
+        self.health.record_success()
+        return result
+
+    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
+        """Query-batched search with the same fault/health gating as
+        :meth:`search` (one gate per group — the group is one RPC)."""
+        multiplier = self._gate()
+        results = self.engine.search_many(query_descriptor_list)
+        if multiplier != 1.0:
+            for result in results:
+                result.elapsed_us *= multiplier
+        self.health.record_success()
+        return results
+
+    def heartbeat(self) -> dict:
+        """Cheap liveness probe: health state + shard occupancy.
+
+        Unlike a search it never raises — a crashed container's
+        heartbeat *reports* ``down`` (the monitor's view) rather than
+        erroring.  Explicitly-crashed injected faults are discovered
+        here, so health checks can detect death without live traffic.
+        """
+        if (
+            self.fault_injector is not None
+            and self.fault_injector.is_crashed(self.node_id)
+            and self.health.state is not NodeHealth.DOWN
+        ):
+            self.health.record_crash()
+        self.health.heartbeats += 1
+        return {
+            "node_id": self.node_id,
+            "references": self.n_references,
+            **self.health.snapshot(),
+        }
 
     def hydrate_from_store(self, store: KVStore, keys: list[str]) -> int:
         """Load serialized feature records from the KV store."""
@@ -129,6 +195,7 @@ class SearchNode:
         return {
             "node_id": self.node_id,
             "device": self.engine.device.spec.name,
+            "health": self.health.state.value,
             "references": self.n_references,
             "capacity_images": self.capacity_images(),
             "gpu_cache_bytes": gpu_used,

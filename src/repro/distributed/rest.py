@@ -11,6 +11,7 @@ Routes::
     DELETE /textures/{id}
     POST   /search              {"descriptors": [[...], ...], "top": k}
     GET    /stats
+    GET    /health
 
 Descriptor payloads are ``(d, count)`` nested lists (what a JSON body
 would carry).  No sockets are involved — the web tier of the paper's
@@ -25,7 +26,7 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import RestError
+from ..errors import DegradedClusterError, RestError
 from .cluster import DistributedSearchSystem
 
 __all__ = ["Request", "Response", "Router", "build_api"]
@@ -158,7 +159,10 @@ def build_api(system: DistributedSearchSystem) -> Router:
         top = int(request.body.get("top", 1))
         if not (1 <= top <= 100):
             raise RestError(400, "'top' must be in [1, 100]")
-        result = system.search(matrix)
+        try:
+            result = system.search(matrix)
+        except DegradedClusterError as exc:
+            raise RestError(503, str(exc)) from exc
         return Response(
             200,
             {
@@ -169,11 +173,19 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "images_searched": result.images_searched,
                 "elapsed_us": result.elapsed_us,
                 "throughput_images_per_s": result.throughput_images_per_s,
+                "partial": result.partial,
+                "unsearched_shards": list(result.unsearched_shards),
             },
         )
 
     @router.route("GET", "/stats")
     def stats(request: Request) -> Response:
         return Response(200, system.stats())
+
+    @router.route("GET", "/health")
+    def health(request: Request) -> Response:
+        """Cluster health rollup; 503 once nothing can serve."""
+        report = system.health_report()
+        return Response(200 if report["status"] != "down" else 503, report)
 
     return router

@@ -70,6 +70,56 @@ class ClusterError(ReproError):
     """Raised for distributed-system failures (missing shard, bad node)."""
 
 
+class NodeError(ClusterError):
+    """Base class for per-container failures; carries the node id."""
+
+    def __init__(self, node_id: str, message: str) -> None:
+        self.node_id = str(node_id)
+        super().__init__(message)
+
+
+class NodeDownError(NodeError):
+    """The container is crashed/unreachable; the operation cannot succeed
+    by retrying against the same node."""
+
+    def __init__(self, node_id: str, reason: str = "node is down") -> None:
+        super().__init__(node_id, f"node {node_id!r}: {reason}")
+
+
+class TransientNodeError(NodeError):
+    """A retryable per-request failure (dropped RPC, OOM blip, flaky
+    link).  The node itself may still be healthy."""
+
+    def __init__(self, node_id: str, reason: str = "transient failure") -> None:
+        super().__init__(node_id, f"node {node_id!r}: {reason}")
+
+
+class NodeTimeoutError(NodeError):
+    """A node answered, but slower than the caller's per-attempt budget."""
+
+    def __init__(self, node_id: str, elapsed_us: float, timeout_us: float) -> None:
+        self.elapsed_us = float(elapsed_us)
+        self.timeout_us = float(timeout_us)
+        super().__init__(
+            node_id,
+            f"node {node_id!r}: answered in {elapsed_us:.0f} us, "
+            f"budget was {timeout_us:.0f} us",
+        )
+
+
+class DegradedClusterError(ClusterError):
+    """Too many shards were unsearchable to honour ``min_shard_fraction``."""
+
+    def __init__(self, searched: int, total: int, min_fraction: float) -> None:
+        self.searched = int(searched)
+        self.total = int(total)
+        self.min_fraction = float(min_fraction)
+        super().__init__(
+            f"only {searched}/{total} shards searchable, below the "
+            f"min_shard_fraction={min_fraction} floor"
+        )
+
+
 class RestError(ReproError):
     """Raised by the REST layer; carries an HTTP-like status code."""
 

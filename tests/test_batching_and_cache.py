@@ -179,6 +179,55 @@ class TestHybridCache:
         ids = [c.batch.batch_id for c in cache.batches()]
         assert ids == [0, 1, 2, 3, 4]
 
+    def test_readd_does_not_duplicate_order(self):
+        """Regression: re-adding a batch id must not make batches()
+        yield it twice nor total_images double-count it."""
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=4 * batch_bytes,
+                                   host_budget_bytes=10 * batch_bytes)
+        cache.add(make_batch(0, 4))
+        cache.add(make_batch(1, 4))
+        cache.add(make_batch(0, 4))  # update in place
+        ids = [c.batch.batch_id for c in cache.batches()]
+        assert ids == [1, 0]
+        assert len(cache) == 2
+        assert cache.total_images == 8
+        # the replaced GPU copy's allocation was freed, not leaked
+        assert device.memory.used_bytes == 2 * batch_bytes
+
+    def test_readd_of_demoted_batch_supersedes_host_copy(self):
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=2 * batch_bytes,
+                                   host_budget_bytes=10 * batch_bytes)
+        for i in range(3):
+            cache.add(make_batch(i, 4))
+        assert cache.host_batches == 1  # batch 0 was demoted
+        cache.add(make_batch(0, 4))     # re-add brings it back to GPU
+        entries = {c.batch.batch_id: c.location for c in cache.batches()}
+        assert entries[0] == CacheLocation.GPU
+        # re-add evicted batch 1 from the GPU level; order refreshes to tail
+        assert list(entries) == [1, 2, 0]
+        assert sum(1 for c in cache.batches() if c.batch.batch_id == 0) == 1
+        assert cache.total_images == sum(c.batch.size for c in cache.batches())
+
+    def test_exhaustion_purges_dropped_ids_from_order(self):
+        """Regression: ids dropped when the host level overflows must
+        leave the FIFO order too, not linger as stale skipped entries."""
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=batch_bytes,
+                                   host_budget_bytes=batch_bytes)
+        cache.add(make_batch(0, 4))
+        cache.add(make_batch(1, 4))
+        with pytest.raises(CacheCapacityError):
+            cache.add(make_batch(2, 4))
+        surviving = [c.batch.batch_id for c in cache.batches()]
+        assert len(surviving) == len(cache)
+        assert surviving == sorted(set(surviving))
+        assert cache.total_images == 4 * len(cache)
+
 
 class TestCapacityPlanner:
     def test_paper_gpu_only_capacity(self):

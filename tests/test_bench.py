@@ -44,7 +44,21 @@ class TestTables:
             "table4", "table5", "table6", "table7", "sec8",
             "ablation-sort", "ablation-query-batch",
             "ablation-cbir", "ablation-streams",
+            "fault-tolerance",
         }
+
+
+class TestFaultToleranceExperiment:
+    def test_reduced_scale_sweep(self):
+        from repro.bench.experiments import fault_tolerance
+
+        result = fault_tolerance.run(
+            n_nodes=3, n_refs=6, n_queries=4, failure_rates=(0.0, 0.2)
+        )
+        assert result.summary["clean_recall"] == 1.0
+        assert result.column("failure rate") == [0.0, 0.2]
+        clean = result.row_by("failure rate", 0.0)
+        assert clean[2] == 0  # no partial answers without faults
 
 
 class TestTable1:

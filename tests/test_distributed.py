@@ -110,6 +110,59 @@ class TestCluster:
         with pytest.raises(ClusterError):
             DistributedSearchSystem(0, CFG)
 
+    def test_add_node_after_remove_mints_fresh_id(self):
+        """Regression: ids were minted from ``len(self.nodes)``, so a
+        remove-then-add cycle minted a duplicate id and corrupted
+        placement."""
+        system = DistributedSearchSystem(2, CFG)
+        system.remove_node("gpu-00")
+        node = system.add_node()
+        assert node.node_id == "gpu-02"
+        ids = [n.node_id for n in system.nodes]
+        assert len(set(ids)) == len(ids) == 2
+        descs = descriptors(4)
+        owners = [system.add(f"r{i}", descs[i]) for i in range(4)]
+        assert set(owners) == {"gpu-01", "gpu-02"}
+        # every reference is findable on the node placement claims
+        for i in range(4):
+            assert system._node_by_id(owners[i]).has(f"r{i}")
+
+    def test_update_in_place_yields_single_match(self):
+        """Re-enrolling an existing ref must replace, not duplicate:
+        searching afterwards returns exactly one match for that id."""
+        system = DistributedSearchSystem(2, CFG)
+        descs = descriptors(3)
+        system.add("r0", descs[0])
+        system.add("r1", descs[1])
+        system.add("r0", descs[2])  # update in place with new content
+        result = system.search(noisy_copy(descs[2], 8.0, seed=9))
+        hits = [m for m in result.matches if m.reference_id == "r0"]
+        assert len(hits) == 1
+        assert result.best().reference_id == "r0"
+        assert system.n_references == 2
+
+    def test_search_many_accounting_uneven_shards(self):
+        """Regression: aggregate elapsed/image counts must come from
+        each node's own grouped results, not ``grouped[0]`` alone."""
+        system = DistributedSearchSystem(3, CFG)
+        descs = descriptors(5)
+        for i in range(5):  # round-robin: shards of 2, 2, 1 references
+            system.add(f"r{i}", descs[i])
+        assert sorted(n.n_references for n in system.nodes) == [1, 2, 2]
+        queries = [noisy_copy(descs[0], 8.0, seed=21), noisy_copy(descs[3], 8.0, seed=22)]
+        grouped = system.search_many(queries)
+        for res in grouped:
+            assert res.images_searched == 5
+            assert sum(r.images_searched for r in res.per_node.values()) == 5
+        slowest = max(
+            max(r.elapsed_us for r in res.per_node.values()) for res in grouped
+        )
+        from repro.distributed import WEB_TIER_OVERHEAD_US
+
+        assert grouped[0].elapsed_us == pytest.approx(slowest + WEB_TIER_OVERHEAD_US)
+        assert grouped[0].best().reference_id == "r0"
+        assert grouped[1].best().reference_id == "r3"
+
 
 class TestRestApi:
     @pytest.fixture

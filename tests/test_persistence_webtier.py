@@ -181,6 +181,22 @@ class TestWebTier:
         with pytest.raises(ValueError):
             WebTier(system, policy="random")
 
+    def test_latency_is_delta_not_absolute_clock(self):
+        """Regression: ``DispatchRecord.latency_us`` must be the
+        completion−start delta.  It used to return the absolute
+        worker-clock completion, so a request queued behind others
+        reported all their time as its own latency."""
+        tier, descs = self._tier(workers=1)
+        tier.reset_clocks()
+        query = noisy_copy(descs[0], 8.0, seed=173).tolist()
+        requests = [Request("POST", "/search", {"descriptors": query})] * 2
+        first, second = tier.handle_burst(requests)
+        assert first.latency_us == pytest.approx(first.completed_us - first.started_us)
+        assert second.started_us == first.completed_us  # queued behind first
+        # identical work => identical latency, despite the queueing delay
+        assert second.latency_us == pytest.approx(first.latency_us)
+        assert second.latency_us < second.completed_us
+
 
 class TestVerificationMetrics:
     def test_roc_and_eer(self):
