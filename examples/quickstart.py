@@ -50,6 +50,20 @@ def main() -> None:
     same, count = engine.verify(reference.descriptors, impostor.descriptors)
     print(f"verify impostor pair: same={same} ({count} matches)")
 
+    # The k-NN math is a pluggable backend: the same engine API runs the
+    # baselines the paper compares against (Table 1).  Here the OpenCV
+    # CUDA cost model answers the same search, ~17x slower.
+    baseline = TextureSearchEngine(
+        config.with_updates(backend="opencv", precision="fp32")
+    )
+    for brick_id in range(100):
+        capture = model.capture(brick_id, "reference").top(config.m)
+        baseline.add_reference(f"brick-{brick_id:03d}", capture.descriptors)
+    baseline_result = baseline.search(query.descriptors)
+    print(f"\nbackend {baseline.backend!r}: best match "
+          f"{baseline_result.best().reference_id}, "
+          f"{baseline_result.throughput_images_per_s:,.0f} images/s")
+
 
 if __name__ == "__main__":
     main()

@@ -1,9 +1,14 @@
-"""Comparison baselines: the OpenCV CUDA brute-force matcher and the
-Garcia et al. cuBLAS KNN with insertion sort (Table 1 columns 1-2)."""
+"""Comparison baselines: the OpenCV CUDA brute-force matcher, the
+Garcia et al. cuBLAS KNN with insertion sort (Table 1 columns 1-2) and
+LSH descriptor compression — plus :mod:`.adapters`, which wraps each of
+them as a :class:`~repro.core.kernels.MatchKernel` so they run through
+the real engine (``EngineConfig(backend="opencv" | "garcia" | "lsh")``).
+"""
 
+from .adapters import GarciaKernel, LshKernel, OpenCVKernel
 from .cbir_ivf import CbirVote, IVFPQIndex, ProductQuantizer, kmeans
-from .lsh import LshCodec, LshMatcher
 from .cublas_garcia import garcia_knn_match, garcia_memory_bytes, make_prepared
+from .lsh import LshCodec, LshMatcher
 from .opencv_cuda import (
     CONTEXT_OVERHEAD_BYTES,
     DIST_KERNEL_EFF_FP32,
@@ -16,13 +21,16 @@ __all__ = [
     "CONTEXT_OVERHEAD_BYTES",
     "CbirVote",
     "DIST_KERNEL_EFF_FP32",
+    "GarciaKernel",
     "IVFPQIndex",
     "LshCodec",
+    "LshKernel",
     "LshMatcher",
+    "OpenCVKernel",
     "ProductQuantizer",
     "garcia_knn_match",
-    "kmeans",
     "garcia_memory_bytes",
+    "kmeans",
     "make_prepared",
     "opencv_knn_match",
     "opencv_memory_bytes",

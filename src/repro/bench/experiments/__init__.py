@@ -5,6 +5,7 @@ from types import SimpleNamespace
 
 from . import (
     ablations,
+    backend_bench,
     device_sweep,
     fault_tolerance,
     fig1_waterfall,
@@ -31,6 +32,7 @@ ALL_EXPERIMENTS = {
     "table7": table7_asymmetric,
     "sec8": sec8_distributed,
     "fault-tolerance": fault_tolerance,
+    "backends": backend_bench,
     # design-choice ablations (DESIGN.md Sec. 4)
     "ablation-sort": SimpleNamespace(run=ablations.run_sort_ablation),
     "ablation-query-batch": SimpleNamespace(run=ablations.run_query_batch_ablation),
@@ -44,6 +46,7 @@ ALL_EXPERIMENTS = {
 __all__ = [
     "ALL_EXPERIMENTS",
     "ablations",
+    "backend_bench",
     "device_sweep",
     "fault_tolerance",
     "fig1_waterfall",

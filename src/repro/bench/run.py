@@ -32,9 +32,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiments",
-        nargs="+",
+        nargs="*",
         metavar="EXPERIMENT",
-        help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, or 'all'",
+        help=f"one of: {', '.join(sorted(ALL_EXPERIMENTS))}, or 'all' "
+        "(defaults to 'backends' when --backend is given)",
+    )
+    parser.add_argument(
+        "--backend",
+        action="append",
+        metavar="NAME",
+        default=None,
+        help="restrict the 'backends' experiment to these match-kernel "
+        "backends (repeatable; e.g. --backend opencv --backend garcia)",
     )
     parser.add_argument(
         "--quick",
@@ -65,11 +74,19 @@ def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
             kwargs["n_bricks"] = args.bricks
         if name == "table7" and args.queries is not None:
             kwargs["queries_per_brick"] = args.queries
+    if name == "backends" and args.backend:
+        kwargs["backends"] = args.backend
     return kwargs
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if not args.experiments:
+        if args.backend:
+            args.experiments = ["backends"]
+        else:
+            parser.error("at least one EXPERIMENT (or --backend) is required")
     names = list(dict.fromkeys(args.experiments))  # de-dup, keep order
     if "all" in names:
         names = list(ALL_EXPERIMENTS)

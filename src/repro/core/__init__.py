@@ -8,6 +8,7 @@ from .batching import BatchBuilder, ReferenceBatch
 from .config import DEFAULT_SCALE_FACTOR, EngineConfig
 from .engine import EngineStats, TextureSearchEngine
 from .identification import IdentificationDecision, IdentificationPipeline
+from .kernels import MatchKernel, PreparedQuery
 from .query_batching import (
     MultiQueryResult,
     QueryBatchPoint,
@@ -15,6 +16,7 @@ from .query_batching import (
     query_batch_tradeoff,
 )
 from .ratio_test import good_match_count, match_images, ratio_test_mask, verify_pair
+from .registry import available_backends, create_kernel, register_kernel, resolve_backend
 from .results import ImageMatch, KnnResult, SearchResult
 from .topk import functional_topk, insertion_topk, top2_scan
 
@@ -30,12 +32,16 @@ __all__ = [
     "IdentificationPipeline",
     "ImageMatch",
     "KnnResult",
+    "MatchKernel",
     "MultiQueryResult",
     "PreparedFeatures",
+    "PreparedQuery",
     "QueryBatchPoint",
     "ReferenceBatch",
     "SearchResult",
     "TextureSearchEngine",
+    "available_backends",
+    "create_kernel",
     "functional_topk",
     "good_match_count",
     "insertion_topk",
@@ -47,6 +53,8 @@ __all__ = [
     "prepare_query",
     "prepare_reference",
     "ratio_test_mask",
+    "register_kernel",
+    "resolve_backend",
     "top2_scan",
     "verify_pair",
 ]

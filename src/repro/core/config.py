@@ -32,9 +32,15 @@ class EngineConfig:
         ``"fp16"`` or ``"fp32"`` storage/compute for feature matrices.
     scale_factor:
         FP16 pre-scale (ignored for fp32).
+    backend:
+        Match-kernel backend name from :mod:`repro.core.registry`
+        (``"algorithm2"``, ``"algorithm1"``, ``"garcia"``, ``"opencv"``,
+        ``"lsh"``, ...).  ``None`` resolves from the deprecated
+        ``use_rootsift`` flag.
     use_rootsift:
-        Algorithm 2 (unit-norm features, no norm vectors) vs
-        Algorithm 1.
+        Deprecated alias for ``backend``: ``True`` selects
+        ``"algorithm2"``, ``False`` selects ``"algorithm1"``.  Ignored
+        when ``backend`` is set.
     normalization:
         Unit-norm mapping for the Algorithm-2 path: ``"rootsift"``
         (Hellinger, requires non-negative SIFT histograms) or ``"l2"``
@@ -61,6 +67,7 @@ class EngineConfig:
     n: int = 768
     precision: str = "fp16"
     scale_factor: float = DEFAULT_SCALE_FACTOR
+    backend: str | None = None
     use_rootsift: bool = True
     normalization: str = "rootsift"
     batch_size: int = 256
@@ -94,6 +101,11 @@ class EngineConfig:
             raise ValueError("streams must be >= 1")
         if self.k < 2:
             raise ValueError("k must be >= 2 (the ratio test needs two neighbours)")
+        if self.backend is not None:
+            from .registry import canonical_backend
+
+            # normalise aliases once; raises ValueError for unknown names
+            object.__setattr__(self, "backend", canonical_backend(self.backend))
 
     @property
     def dtype(self) -> str:
@@ -104,15 +116,23 @@ class EngineConfig:
         """Scale applied before FP16 conversion (1.0 in fp32 mode)."""
         return self.scale_factor if self.precision == "fp16" else 1.0
 
+    @property
+    def resolved_backend(self) -> str:
+        """The match-kernel backend this configuration selects."""
+        from .registry import resolve_backend
+
+        return resolve_backend(self)
+
     def feature_matrix_bytes(self, m: int | None = None) -> int:
-        """Bytes of one cached reference feature matrix."""
-        per_elem = 2 if self.precision == "fp16" else 4
-        rows = self.m if m is None else int(m)
-        nbytes = rows * self.d * per_elem
-        if not self.use_rootsift:
-            # Algorithm 1 also caches the squared-norm vector N_R.
-            nbytes += rows * per_elem
-        return nbytes
+        """Bytes of one cached reference feature matrix.
+
+        Backend-dependent: Algorithm-1-family kernels also cache the
+        squared-norm vector ``N_R``; the LSH kernel adds its packed
+        signature words.
+        """
+        from .registry import kernel_class
+
+        return kernel_class(self.resolved_backend).memory_per_image(self, m)
 
     def with_updates(self, **kwargs) -> "EngineConfig":
         """Functional update helper (frozen dataclass)."""

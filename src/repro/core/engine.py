@@ -1,15 +1,21 @@
 """The texture search engine — the paper's contributions, composed.
 
 :class:`TextureSearchEngine` owns one simulated GPU, a hybrid feature
-cache and an engine configuration, and exposes the paper's two tasks:
+cache, an engine configuration and one *match kernel* (the pluggable
+k-NN backend, see :mod:`repro.core.kernels` and
+:mod:`repro.core.registry`), and exposes the paper's two tasks:
 
 * :meth:`verify` — one-to-one verification of a (reference, query) pair;
 * :meth:`search` — one-to-many search of a query against every cached
   reference image, batch by batch.
 
-Every optimization is a config knob (precision, RootSIFT, batch size,
+Every optimization is a config knob (precision, backend, batch size,
 sort kind, streams, asymmetric m/n), so the benchmark harness can
-reproduce each table by toggling exactly one of them.
+reproduce each table by toggling exactly one of them.  All three entry
+points run on a single private cache-sweep executor
+(:meth:`_execute_sweep`) that owns the batch loop, H2D transfer
+accounting, tombstone filtering, the multi-stream overlap correction
+and stats — the kernels only see one batch at a time.
 
 Timing: with a single stream the engine's event-driven device model is
 exact (all stages serialise in-stream, as in Tables 1/3/5).  With
@@ -21,21 +27,18 @@ serial NumPy execution cannot exhibit.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Iterable
 
 import numpy as np
 
-from ..cache.hybrid import CacheLocation, HybridFeatureCache
-from ..features.rootsift import l2_normalize, rootsift
-from ..features.selection import pad_or_trim
-from ..fp16.convert import to_scaled_fp16
+from ..cache.hybrid import CachedBatch, CacheLocation, HybridFeatureCache
 from ..gpusim.device import TESLA_P100
 from ..gpusim.engine_model import GPUDevice
 from ..pipeline.scheduler import plan_streams
-from .algorithm1 import knn_algorithm1, prepare_query, prepare_reference
-from .algorithm2 import knn_algorithm2
 from .batching import BatchBuilder, ReferenceBatch
 from .config import EngineConfig
-from .ratio_test import match_images, verify_pair
+from .kernels import MatchKernel, PreparedQuery
+from .registry import create_kernel
 from .results import ImageMatch, SearchResult
 
 __all__ = ["TextureSearchEngine", "EngineStats"]
@@ -62,13 +65,23 @@ class EngineStats:
         return self.images_compared / (self.total_search_us * 1e-6)
 
 
+@dataclass
+class _SweepOutcome:
+    """What one cache sweep produced: per-query matches + accounting."""
+
+    per_query_matches: list[list[ImageMatch]]
+    images: int
+    elapsed_us: float
+
+
 class TextureSearchEngine:
     """One-GPU texture identification engine.
 
     Parameters
     ----------
     config:
-        Optimization knobs; see :class:`EngineConfig`.
+        Optimization knobs; see :class:`EngineConfig`.  The
+        ``backend`` field selects the match kernel.
     device:
         Simulated GPU (defaults to a fresh Tesla P100).
     host_cache_bytes:
@@ -78,6 +91,10 @@ class TextureSearchEngine:
         First-level budget; defaults to all free device memory.
     pinned:
         Host cache memory is pinned (Table 5).
+    kernel:
+        Pre-built :class:`~repro.core.kernels.MatchKernel` instance,
+        overriding registry resolution (e.g. an ``LshKernel`` with
+        non-default codec parameters).
     """
 
     def __init__(
@@ -87,8 +104,10 @@ class TextureSearchEngine:
         host_cache_bytes: int = 0,
         gpu_cache_bytes: int | None = None,
         pinned: bool = True,
+        kernel: MatchKernel | None = None,
     ) -> None:
         self.config = config or EngineConfig()
+        self.kernel = kernel if kernel is not None else create_kernel(self.config)
         self.device = device or GPUDevice(TESLA_P100)
         self.cache = HybridFeatureCache(
             self.device,
@@ -101,7 +120,7 @@ class TextureSearchEngine:
             batch_size=cfg.batch_size,
             d=cfg.d,
             m=cfg.m,
-            keep_norms=not cfg.use_rootsift,
+            keep_norms=self.kernel.needs_norms,
         )
         self.stats = EngineStats()
         #: live id -> (ReferenceBatch | None, slot index); ``None`` means
@@ -111,36 +130,28 @@ class TextureSearchEngine:
         #: cost) but its matches are dropped from results.
         self._locations: dict[str, tuple[ReferenceBatch | None, int]] = {}
         self._dead_slots = 0
+        #: images_compared as of the last :meth:`reset_profile`, so
+        #: profile-report means cover only the profiled window.
+        self._images_at_profile_reset = 0
+
+    @property
+    def backend(self) -> str:
+        """Name of the active match-kernel backend."""
+        return self.kernel.name
 
     # ------------------------------------------------------------------
     # enrolment
     # ------------------------------------------------------------------
-    def _to_engine_precision(self, matrix: np.ndarray) -> np.ndarray:
-        if self.config.precision == "fp16":
-            return to_scaled_fp16(matrix, self.config.scale_factor).values
-        return np.asarray(matrix, dtype=np.float32)
-
     def prepare_reference_matrix(self, descriptors: np.ndarray) -> tuple[np.ndarray, np.ndarray | None]:
         """Shape/normalise/quantise one reference descriptor matrix.
 
         Input is ``(d, count)`` FP32, response-ranked (the extractor's
-        output order); output is the cached representation:
-        RootSIFT-transformed if configured, trimmed/zero-padded to
+        output order); output is the backend's cached representation:
+        normalised if the kernel requires it, trimmed/zero-padded to
         ``m``, converted to engine precision, with ``N_R`` norms when
-        Algorithm 1 needs them.
+        the kernel needs them.
         """
-        cfg = self.config
-        descriptors = np.asarray(descriptors, dtype=np.float32)
-        if descriptors.ndim != 2 or descriptors.shape[0] != cfg.d:
-            raise ValueError(
-                f"descriptors must be ({cfg.d}, count), got {descriptors.shape}"
-            )
-        if cfg.use_rootsift:
-            matrix = pad_or_trim(self._unit_normalize(descriptors), cfg.m)
-            return self._to_engine_precision(matrix), None
-        matrix = pad_or_trim(descriptors, cfg.m)
-        prepared = prepare_reference(matrix, cfg.precision, cfg.effective_scale)
-        return prepared.values, prepared.norms
+        return self.kernel.prepare_reference(descriptors)
 
     def add_reference(self, ref_id: str, descriptors: np.ndarray) -> None:
         """Enrol one reference image's descriptors into the cache.
@@ -172,7 +183,7 @@ class TextureSearchEngine:
         norms: np.ndarray | None = None,
     ) -> None:
         """Enrol an *already prepared* matrix (engine precision/scale,
-        RootSIFT applied, padded to ``(d, m)``).
+        kernel normalisation applied, padded to ``(d, m)``).
 
         This is the warm-restart path: :meth:`export_records` emits
         stored-domain matrices, and re-applying the preprocessing to
@@ -186,8 +197,8 @@ class TextureSearchEngine:
         expected = np.float16 if cfg.precision == "fp16" else np.float32
         if matrix.dtype != expected:
             raise ValueError(f"prepared matrix must be {expected}, got {matrix.dtype}")
-        if not cfg.use_rootsift and norms is None:
-            raise ValueError("Algorithm-1 engines require the N_R vector")
+        if self.kernel.needs_norms and norms is None:
+            raise ValueError(f"backend {self.backend!r} engines require the N_R vector")
         if ref_id in self._locations:
             self.remove_reference(ref_id)
         self._locations[ref_id] = (None, self._builder.pending)
@@ -242,14 +253,7 @@ class TextureSearchEngine:
                     f"record {record.ref_id!r} has scale {record.scale}, "
                     f"engine uses {cfg.effective_scale}"
                 )
-            norms = None
-            if not cfg.use_rootsift:
-                v = record.matrix.astype(np.float32)
-                norms = np.einsum("dc,dc->c", v, v)
-                if cfg.precision == "fp16":
-                    # match prepare_reference's FP16-stored N_R exactly
-                    norms = np.clip(norms, 0, 65504).astype(np.float16)
-                norms = norms.astype(np.float32)
+            norms = self.kernel.norms_for_stored(record.matrix) if self.kernel.needs_norms else None
             self.add_prepared_reference(record.ref_id, record.matrix, norms)
             count += 1
         return count
@@ -292,85 +296,49 @@ class TextureSearchEngine:
     # ------------------------------------------------------------------
     def prepare_query_matrix(self, descriptors: np.ndarray) -> np.ndarray:
         """Shape/normalise/quantise one query descriptor matrix to
-        ``(d, n)`` engine precision."""
-        cfg = self.config
-        descriptors = np.asarray(descriptors, dtype=np.float32)
-        if descriptors.ndim != 2 or descriptors.shape[0] != cfg.d:
-            raise ValueError(
-                f"descriptors must be ({cfg.d}, count), got {descriptors.shape}"
-            )
-        if cfg.use_rootsift:
-            descriptors = self._unit_normalize(descriptors)
-        matrix = pad_or_trim(descriptors, cfg.n)
-        return self._to_engine_precision(matrix)
-
-    def _unit_normalize(self, descriptors: np.ndarray) -> np.ndarray:
-        """Unit-norm mapping for the Algorithm-2 path (config-selected)."""
-        if not descriptors.size:
-            return descriptors
-        if self.config.normalization == "rootsift":
-            return rootsift(descriptors)
-        return l2_normalize(descriptors)
+        ``(d, n)`` engine precision (pure transform, never charged)."""
+        return self.kernel.query_matrix(descriptors)
 
     # ------------------------------------------------------------------
-    # search
+    # the cache-sweep executor
     # ------------------------------------------------------------------
-    def _match_batch(
+    def _execute_sweep(
         self,
-        batch: ReferenceBatch,
-        query_matrix: np.ndarray,
-        keep_masks: bool,
-    ) -> list[ImageMatch]:
-        cfg = self.config
-        if cfg.use_rootsift:
-            result = knn_algorithm2(
-                self.device,
-                batch.tensor,
-                query_matrix,
-                scale=cfg.effective_scale,
-                k=cfg.k,
-                precision=cfg.precision,
-                tensor_core=cfg.tensor_core,
-            )
-            self.device.cpu_postprocess(batch.size, cfg.precision, cfg.n)
-            return [
-                match_images(batch.ids[i], result.image(i), cfg.ratio_threshold, keep_masks)
-                for i in range(batch.size)
-            ]
-        # Algorithm 1: per-image loop (the paper batches only the
-        # RootSIFT pipeline).
-        matches = []
-        for i in range(batch.size):
-            ref = _PreparedView(batch.tensor[i], batch.norms[i], cfg.precision, cfg.effective_scale)
-            knn = knn_algorithm1(self.device, ref, self._prepared_query, k=cfg.k,
-                                 sort_kind=cfg.sort_kind)
-            self.device.cpu_postprocess(1, cfg.precision, cfg.n)
-            matches.append(match_images(batch.ids[i], knn, cfg.ratio_threshold, keep_masks))
-        return matches
+        query: PreparedQuery,
+        n_queries: int,
+        keep_masks: bool = False,
+        batches: Iterable[CachedBatch] | None = None,
+        record_stats: bool = True,
+    ) -> _SweepOutcome:
+        """The one batch loop every match path runs on.
 
-    def search(self, query_descriptors: np.ndarray, keep_masks: bool = False) -> SearchResult:
-        """One-to-many search over every cached reference image."""
+        Owns, for every backend: H2D transfer accounting for
+        host-resident batches, tombstone filtering, the multi-stream
+        overlap correction (Sec. 6.2) and stats/profile accumulation.
+        ``batches`` overrides the cache iteration (``verify`` passes a
+        transient single-image batch); ``record_stats`` is off for
+        sweeps that are not searches.
+        """
         cfg = self.config
-        self.flush()
-        query_matrix = self.prepare_query_matrix(query_descriptors)
-        if not cfg.use_rootsift:
-            self._prepared_query = prepare_query(
-                self.device, pad_or_trim(np.asarray(query_descriptors, dtype=np.float32), cfg.n),
-                cfg.precision, cfg.effective_scale,
-            )
+        profile_before = self.device.profiler.as_dict() if record_stats else {}
         start_us = self.device.synchronize()
-        all_matches: list[ImageMatch] = []
+        per_query: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
         images = 0
         host_images = 0
-        for cached in self.cache.batches():
+        source = self.cache.batches() if batches is None else batches
+        for cached in source:
             batch = cached.batch
             if cached.location is CacheLocation.HOST:
                 self.device.h2d(batch.nbytes, pinned=self.cache.pinned)
                 host_images += batch.size
-            matches = self._match_batch(batch, query_matrix, keep_masks)
-            if self._dead_slots:
-                matches = [m for m in matches if not m.reference_id.startswith(_DEAD_PREFIX)]
-            all_matches.extend(matches)
+            if query.matrix.ndim == 3:  # a prepared query *group*
+                groups = self.kernel.match_batch_multi(self.device, batch, query, keep_masks)
+            else:
+                groups = [self.kernel.match_batch(self.device, batch, query, keep_masks)]
+            for q, matches in enumerate(groups):
+                if self._dead_slots:
+                    matches = [m for m in matches if not m.reference_id.startswith(_DEAD_PREFIX)]
+                per_query[q].extend(matches)
             images += batch.size
         elapsed = self.device.synchronize() - start_us
 
@@ -381,18 +349,39 @@ class TextureSearchEngine:
                 self.device.spec, self.device.cal, cfg.streams, cfg.batch_size,
                 m=cfg.m, n=cfg.n, d=cfg.d, precision=cfg.precision,
                 tensor_core=cfg.tensor_core, pinned=self.cache.pinned,
-                with_norms=not cfg.use_rootsift,
+                with_norms=self.kernel.needs_norms,
             )
-            gpu_images = images - host_images
-            gpu_fraction = gpu_images / images if images else 0.0
-            elapsed = elapsed * gpu_fraction + host_images / plan.throughput_images_per_s * 1e6
+            gpu_fraction = (images - host_images) / images if images else 0.0
+            elapsed = (
+                elapsed * gpu_fraction
+                + host_images * n_queries / plan.throughput_images_per_s * 1e6
+            )
 
-        self.stats.searches += 1
-        self.stats.images_compared += images
-        self.stats.total_search_us += elapsed
-        for name, total in self.device.profiler.as_dict().items():
-            self.stats.step_times_us[name] = self.stats.step_times_us.get(name, 0.0) + total
-        return SearchResult(matches=all_matches, elapsed_us=elapsed, images_searched=images)
+        if record_stats:
+            self.stats.searches += n_queries
+            self.stats.images_compared += images * n_queries
+            self.stats.total_search_us += elapsed
+            for name, total in self.device.profiler.as_dict().items():
+                delta = total - profile_before.get(name, 0.0)
+                if delta:
+                    self.stats.step_times_us[name] = (
+                        self.stats.step_times_us.get(name, 0.0) + delta
+                    )
+        return _SweepOutcome(per_query_matches=per_query, images=images, elapsed_us=elapsed)
+
+    # ------------------------------------------------------------------
+    # search
+    # ------------------------------------------------------------------
+    def search(self, query_descriptors: np.ndarray, keep_masks: bool = False) -> SearchResult:
+        """One-to-many search over every cached reference image."""
+        self.flush()
+        query = self.kernel.prepare_query(self.device, query_descriptors)
+        outcome = self._execute_sweep(query, n_queries=1, keep_masks=keep_masks)
+        return SearchResult(
+            matches=outcome.per_query_matches[0],
+            elapsed_us=outcome.elapsed_us,
+            images_searched=outcome.images,
+        )
 
     def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
         """Query-batched one-to-many search (Sec. 5.3 extension).
@@ -400,50 +389,26 @@ class TextureSearchEngine:
         All queries are answered in one sweep over the cache with fused
         GEMMs — higher throughput, but every query's ``elapsed_us`` is
         the whole group's completion time (the latency cost the paper
-        warns about).  Requires the RootSIFT (Algorithm 2) pipeline.
+        warns about).  Requires a multi-query backend (the RootSIFT
+        Algorithm-2 pipeline).
         """
-        cfg = self.config
-        if not cfg.use_rootsift:
-            raise ValueError("search_many requires the RootSIFT (Algorithm 2) pipeline")
+        if not self.kernel.supports_multiquery:
+            raise ValueError(
+                "search_many requires a multi-query backend (the RootSIFT "
+                f"Algorithm-2 pipeline); backend {self.backend!r} does not support it"
+            )
         if not query_descriptor_list:
             return []
-        from .query_batching import knn_algorithm2_multiquery
-
         self.flush()
-        queries = np.stack(
-            [self.prepare_query_matrix(q) for q in query_descriptor_list]
-        )
-        n_queries = queries.shape[0]
-        start_us = self.device.synchronize()
-        per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
-        images = 0
-        for cached in self.cache.batches():
-            batch = cached.batch
-            if cached.location is CacheLocation.HOST:
-                self.device.h2d(batch.nbytes, pinned=self.cache.pinned)
-            result = knn_algorithm2_multiquery(
-                self.device, batch.tensor, queries,
-                scale=cfg.effective_scale, k=cfg.k,
-                precision=cfg.precision, tensor_core=cfg.tensor_core,
-            )
-            self.device.cpu_postprocess(batch.size * n_queries, cfg.precision, cfg.n)
-            for q in range(n_queries):
-                view = result.query(q)
-                matches = [
-                    match_images(batch.ids[i], view.image(i), cfg.ratio_threshold)
-                    for i in range(batch.size)
-                ]
-                if self._dead_slots:
-                    matches = [m for m in matches if not m.reference_id.startswith(_DEAD_PREFIX)]
-                per_query_matches[q].extend(matches)
-            images += batch.size
-        elapsed = self.device.synchronize() - start_us
-        self.stats.searches += n_queries
-        self.stats.images_compared += images * n_queries
-        self.stats.total_search_us += elapsed
+        query = self.kernel.prepare_query_many(self.device, query_descriptor_list)
+        n_queries = len(query_descriptor_list)
+        outcome = self._execute_sweep(query, n_queries=n_queries)
         return [
-            SearchResult(matches=per_query_matches[q], elapsed_us=elapsed,
-                         images_searched=images)
+            SearchResult(
+                matches=outcome.per_query_matches[q],
+                elapsed_us=outcome.elapsed_us,
+                images_searched=outcome.images,
+            )
             for q in range(n_queries)
         ]
 
@@ -458,23 +423,21 @@ class TextureSearchEngine:
         """One-to-one verification: ``(same_texture, good_matches)``."""
         cfg = self.config
         ref_matrix, norms = self.prepare_reference_matrix(reference_descriptors)
-        query_matrix = self.prepare_query_matrix(query_descriptors)
-        if cfg.use_rootsift:
-            result = knn_algorithm2(
-                self.device, ref_matrix[None, ...], query_matrix,
-                scale=cfg.effective_scale, k=cfg.k, precision=cfg.precision,
-                tensor_core=cfg.tensor_core,
-            )
-            knn = result.image(0)
-        else:
-            ref = _PreparedView(ref_matrix, norms, cfg.precision, cfg.effective_scale)
-            query = prepare_query(self.device, pad_or_trim(
-                np.asarray(query_descriptors, dtype=np.float32), cfg.n),
-                cfg.precision, cfg.effective_scale)
-            knn = knn_algorithm1(self.device, ref, query, k=cfg.k, sort_kind=cfg.sort_kind)
-        self.device.cpu_postprocess(1, cfg.precision, cfg.n)
-        return verify_pair(knn, cfg.ratio_threshold, cfg.min_matches)
-
+        query = self.kernel.prepare_query(self.device, query_descriptors)
+        transient = ReferenceBatch(
+            batch_id=-1,
+            ids=["\x00verify"],
+            tensor=ref_matrix[None, ...],
+            norms=norms[None, ...] if norms is not None else None,
+        )
+        outcome = self._execute_sweep(
+            query,
+            n_queries=1,
+            batches=[CachedBatch(batch=transient, location=CacheLocation.GPU)],
+            record_stats=False,
+        )
+        match = outcome.per_query_matches[0][0]
+        return match.good_matches >= cfg.min_matches, match.good_matches
 
     # ------------------------------------------------------------------
     # introspection
@@ -485,11 +448,11 @@ class TextureSearchEngine:
 
         Covers every search/verify since construction (or the last
         :meth:`reset_profile`); per-image means use the number of image
-        comparisons performed.
+        comparisons performed *in the profiled window*.
         """
         from ..bench.tables import format_table
 
-        images = max(self.stats.images_compared, 1)
+        images = max(self.images_since_profile_reset, 1)
         rows = []
         total = 0.0
         for record in self.device.profiler.records():
@@ -499,35 +462,21 @@ class TextureSearchEngine:
             )
             total += record.total_us
         rows.append(["TOTAL", round(total, 1), round(total / images, 3), ""])
-        norm = (
-            f" + {self.config.normalization}" if self.config.use_rootsift else " (Alg. 1)"
-        )
         header = (
-            f"{self.device.spec.name} | {self.config.precision}{norm}"
+            f"{self.device.spec.name} | {self.config.precision} {self.kernel.describe()}"
             f" | m={self.config.m} n={self.config.n} batch={self.config.batch_size}"
         )
         return format_table(
             ["step", "total (us)", "us/image", "calls"], rows, title=header
         )
 
+    @property
+    def images_since_profile_reset(self) -> int:
+        """Image comparisons performed since the last :meth:`reset_profile`."""
+        return self.stats.images_compared - self._images_at_profile_reset
+
     def reset_profile(self) -> None:
-        """Clear the step profiler and simulated clock (stats survive)."""
+        """Clear the step profiler and simulated clock (stats survive,
+        but profile-report means restart from this point)."""
         self.device.reset_timing()
-
-
-class _PreparedView:
-    """Adapter presenting a cached (matrix, norms) pair to Algorithm 1."""
-
-    def __init__(self, values: np.ndarray, norms: np.ndarray, precision: str, scale: float) -> None:
-        self.values = values
-        self.norms = norms
-        self.precision = precision
-        self.scale = scale
-
-    @property
-    def count(self) -> int:
-        return self.values.shape[1]
-
-    @property
-    def d(self) -> int:
-        return self.values.shape[0]
+        self._images_at_profile_reset = self.stats.images_compared

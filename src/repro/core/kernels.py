@@ -1,0 +1,341 @@
+"""Match-kernel backends: the pluggable k-NN math behind the engine.
+
+:class:`~repro.core.engine.TextureSearchEngine` owns the cache, the
+batch builder and the sweep loop; everything algorithm-specific —
+reference preparation, query preparation and the per-batch 2-NN match —
+lives behind the :class:`MatchKernel` interface.  The paper's two
+pipelines are :class:`Algorithm1Kernel` (cuBLAS + cached ``N_R`` norms)
+and :class:`Algorithm2Kernel` (RootSIFT, norm-free, batched); the
+baselines the paper compares against are adapted to the same interface
+in :mod:`repro.baselines.adapters`, so they run through the real
+engine, hybrid cache and bench harness.
+
+Query preparation returns an explicit :class:`PreparedQuery` value
+that the engine threads through the sweep — kernels hold no per-query
+mutable state, which is what makes one engine instance safe to use for
+interleaved ``search``/``verify`` calls.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from ..features.rootsift import l2_normalize, rootsift
+from ..features.selection import pad_or_trim
+from ..fp16.convert import FP16_MAX, to_scaled_fp16
+from ..gpusim.engine_model import GPUDevice
+from .algorithm1 import PreparedFeatures, knn_algorithm1, prepare_query, prepare_reference
+from .algorithm2 import knn_algorithm2
+from .batching import ReferenceBatch
+from .ratio_test import match_images
+from .results import ImageMatch
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .config import EngineConfig
+
+__all__ = [
+    "Algorithm1Kernel",
+    "Algorithm2Kernel",
+    "MatchKernel",
+    "PreparedQuery",
+]
+
+
+@dataclass
+class PreparedQuery:
+    """A query in kernel-ready form, returned by ``prepare_query``.
+
+    ``matrix`` is the engine-precision query matrix — ``(d, n)`` for a
+    single query, ``(Q, d, n)`` for a ``prepare_query_many`` group.
+    ``aux`` carries kernel-specific extras (Algorithm 1 keeps its
+    :class:`PreparedFeatures` with the on-device ``N_Q`` vector here;
+    the LSH adapter keeps the query's hash codes).
+    """
+
+    matrix: np.ndarray
+    aux: Any = None
+
+    @property
+    def n_queries(self) -> int:
+        return 1 if self.matrix.ndim == 2 else self.matrix.shape[0]
+
+
+class MatchKernel(ABC):
+    """One match-kernel backend.
+
+    A kernel is constructed once per engine with that engine's
+    :class:`~repro.core.config.EngineConfig` and must be stateless with
+    respect to queries: everything a sweep needs is in the
+    :class:`PreparedQuery` it returned.
+
+    Class attributes
+    ----------------
+    name:
+        Registry name (see :mod:`repro.core.registry`).
+    needs_norms:
+        Whether cached :class:`ReferenceBatch` blocks carry ``N_R``
+        squared-norm vectors next to the feature tensors.
+    supports_multiquery:
+        Whether :meth:`match_batch_multi` is implemented (enables
+        ``TextureSearchEngine.search_many``).
+    """
+
+    name: str = "abstract"
+    needs_norms: bool = False
+    supports_multiquery: bool = False
+
+    def __init__(self, config: "EngineConfig") -> None:
+        self.config = config
+
+    # -- configuration -------------------------------------------------
+    @classmethod
+    def validate_config(cls, config: "EngineConfig") -> None:
+        """Raise ``ValueError`` when ``config`` cannot drive this kernel."""
+
+    @classmethod
+    def memory_per_image(cls, config: "EngineConfig", m: int | None = None) -> int:
+        """Bytes one cached reference image occupies under this kernel."""
+        per_elem = 2 if config.precision == "fp16" else 4
+        rows = config.m if m is None else int(m)
+        nbytes = rows * config.d * per_elem
+        if cls.needs_norms:
+            nbytes += rows * per_elem  # the cached N_R vector
+        return nbytes
+
+    def describe(self) -> str:
+        """Short tag for profile-report headers."""
+        return self.name
+
+    # -- shared helpers ------------------------------------------------
+    def _check_descriptors(self, descriptors: np.ndarray) -> np.ndarray:
+        descriptors = np.asarray(descriptors, dtype=np.float32)
+        if descriptors.ndim != 2 or descriptors.shape[0] != self.config.d:
+            raise ValueError(
+                f"descriptors must be ({self.config.d}, count), got {descriptors.shape}"
+            )
+        return descriptors
+
+    def _to_engine_precision(self, matrix: np.ndarray) -> np.ndarray:
+        cfg = self.config
+        if cfg.precision == "fp16":
+            return to_scaled_fp16(matrix, cfg.scale_factor).values
+        return np.asarray(matrix, dtype=np.float32)
+
+    # -- reference side ------------------------------------------------
+    @abstractmethod
+    def prepare_reference(
+        self, descriptors: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray | None]:
+        """Shape/normalise/quantise one ``(d, count)`` reference matrix.
+
+        Returns the stored representation: the ``(d, m)`` matrix in
+        engine precision plus the ``N_R`` vector when
+        :attr:`needs_norms` (else ``None``).
+        """
+
+    def norms_for_stored(self, matrix: np.ndarray) -> np.ndarray | None:
+        """Recover the ``N_R`` vector of an already *stored* matrix.
+
+        Used by ``import_records``: serialized records hold only the
+        stored-domain matrix, and norm-free kernels return ``None``.
+        """
+        return None
+
+    # -- query side ----------------------------------------------------
+    @abstractmethod
+    def query_matrix(self, descriptors: np.ndarray) -> np.ndarray:
+        """Pure transform of ``(d, count)`` descriptors to the
+        ``(d, n)`` engine-precision query matrix (never charged)."""
+
+    def prepare_query(self, device: GPUDevice, descriptors: np.ndarray) -> PreparedQuery:
+        """Full query preparation, charging the device where the paper
+        does (e.g. Algorithm 1's query H2D + ``N_Q``)."""
+        return PreparedQuery(matrix=self.query_matrix(descriptors))
+
+    def prepare_query_many(
+        self, device: GPUDevice, descriptor_list: list[np.ndarray]
+    ) -> PreparedQuery:
+        """Prepare a query *group* for a multi-query sweep."""
+        raise ValueError(
+            f"backend {self.name!r} does not support query-batched search"
+        )
+
+    # -- matching ------------------------------------------------------
+    @abstractmethod
+    def match_batch(
+        self,
+        device: GPUDevice,
+        batch: ReferenceBatch,
+        query: PreparedQuery,
+        keep_masks: bool = False,
+    ) -> list[ImageMatch]:
+        """Match one prepared query against one reference batch."""
+
+    def match_batch_multi(
+        self,
+        device: GPUDevice,
+        batch: ReferenceBatch,
+        query: PreparedQuery,
+        keep_masks: bool = False,
+    ) -> list[list[ImageMatch]]:
+        """Match a query group against one batch; per-query match lists."""
+        raise ValueError(
+            f"backend {self.name!r} does not support query-batched search"
+        )
+
+
+class Algorithm2Kernel(MatchKernel):
+    """The paper's RootSIFT pipeline (previously ``use_rootsift=True``).
+
+    Unit-normalised features make the norm vectors vanish; references
+    batch into fused GEMMs and the whole sweep is four steps per batch
+    (:mod:`repro.core.algorithm2`).  Also the only built-in kernel with
+    a fused multi-query path (Sec. 5.3 extension).
+    """
+
+    name = "algorithm2"
+    needs_norms = False
+    supports_multiquery = True
+
+    def describe(self) -> str:
+        return f"+ {self.config.normalization}"
+
+    def _unit_normalize(self, descriptors: np.ndarray) -> np.ndarray:
+        if not descriptors.size:
+            return descriptors
+        if self.config.normalization == "rootsift":
+            return rootsift(descriptors)
+        return l2_normalize(descriptors)
+
+    def prepare_reference(self, descriptors):
+        cfg = self.config
+        descriptors = self._check_descriptors(descriptors)
+        matrix = pad_or_trim(self._unit_normalize(descriptors), cfg.m)
+        return self._to_engine_precision(matrix), None
+
+    def query_matrix(self, descriptors):
+        cfg = self.config
+        descriptors = self._check_descriptors(descriptors)
+        matrix = pad_or_trim(self._unit_normalize(descriptors), cfg.n)
+        return self._to_engine_precision(matrix)
+
+    def prepare_query_many(self, device, descriptor_list):
+        return PreparedQuery(
+            matrix=np.stack([self.query_matrix(q) for q in descriptor_list])
+        )
+
+    def match_batch(self, device, batch, query, keep_masks=False):
+        cfg = self.config
+        result = knn_algorithm2(
+            device,
+            batch.tensor,
+            query.matrix,
+            scale=cfg.effective_scale,
+            k=cfg.k,
+            precision=cfg.precision,
+            tensor_core=cfg.tensor_core,
+        )
+        device.cpu_postprocess(batch.size, cfg.precision, cfg.n)
+        return [
+            match_images(batch.ids[i], result.image(i), cfg.ratio_threshold, keep_masks)
+            for i in range(batch.size)
+        ]
+
+    def match_batch_multi(self, device, batch, query, keep_masks=False):
+        from .query_batching import knn_algorithm2_multiquery
+
+        cfg = self.config
+        n_queries = query.n_queries
+        result = knn_algorithm2_multiquery(
+            device,
+            batch.tensor,
+            query.matrix,
+            scale=cfg.effective_scale,
+            k=cfg.k,
+            precision=cfg.precision,
+            tensor_core=cfg.tensor_core,
+        )
+        device.cpu_postprocess(batch.size * n_queries, cfg.precision, cfg.n)
+        groups: list[list[ImageMatch]] = []
+        for q in range(n_queries):
+            view = result.query(q)
+            groups.append(
+                [
+                    match_images(batch.ids[i], view.image(i), cfg.ratio_threshold, keep_masks)
+                    for i in range(batch.size)
+                ]
+            )
+        return groups
+
+
+class Algorithm1Kernel(MatchKernel):
+    """The paper's cuBLAS pipeline (previously ``use_rootsift=False``).
+
+    Raw descriptors with cached ``N_R`` squared-norm vectors; matching
+    loops per image because the paper batches only the RootSIFT
+    pipeline.  The sort is the register top-2 scan by default
+    (``EngineConfig.sort_kind``).
+    """
+
+    name = "algorithm1"
+    needs_norms = True
+    supports_multiquery = False
+
+    def describe(self) -> str:
+        return "(Alg. 1)"
+
+    def _sort_kind(self) -> str:
+        return self.config.sort_kind
+
+    def prepare_reference(self, descriptors):
+        cfg = self.config
+        descriptors = self._check_descriptors(descriptors)
+        matrix = pad_or_trim(descriptors, cfg.m)
+        prepared = prepare_reference(matrix, cfg.precision, cfg.effective_scale)
+        return prepared.values, prepared.norms
+
+    def norms_for_stored(self, matrix):
+        cfg = self.config
+        v = matrix.astype(np.float32)
+        norms = np.einsum("dc,dc->c", v, v)
+        if cfg.precision == "fp16":
+            # match prepare_reference's FP16-stored N_R exactly
+            norms = np.clip(norms, 0, FP16_MAX).astype(np.float16)
+        return norms.astype(np.float32)
+
+    def query_matrix(self, descriptors):
+        cfg = self.config
+        descriptors = self._check_descriptors(descriptors)
+        return self._to_engine_precision(pad_or_trim(descriptors, cfg.n))
+
+    def prepare_query(self, device, descriptors):
+        cfg = self.config
+        descriptors = self._check_descriptors(descriptors)
+        features = prepare_query(
+            device,
+            pad_or_trim(descriptors, cfg.n),
+            cfg.precision,
+            cfg.effective_scale,
+        )
+        return PreparedQuery(matrix=features.values, aux=features)
+
+    def match_batch(self, device, batch, query, keep_masks=False):
+        cfg = self.config
+        matches = []
+        for i in range(batch.size):
+            ref = PreparedFeatures(
+                values=batch.tensor[i],
+                norms=batch.norms[i],
+                precision=cfg.precision,
+                scale=cfg.effective_scale,
+            )
+            knn = knn_algorithm1(
+                device, ref, query.aux, k=cfg.k, sort_kind=self._sort_kind()
+            )
+            device.cpu_postprocess(1, cfg.precision, cfg.n)
+            matches.append(match_images(batch.ids[i], knn, cfg.ratio_threshold, keep_masks))
+        return matches

@@ -46,9 +46,13 @@ class SearchNode:
         device_spec: DeviceSpec = TESLA_P100,
         node_config: NodeConfig | None = None,
         health_policy: HealthPolicy | None = None,
+        backend: str | None = None,
     ) -> None:
         self.node_id = str(node_id)
         self.node_config = node_config or NodeConfig()
+        if backend is not None:
+            # construct the engine by backend name (kernel registry)
+            engine_config = (engine_config or EngineConfig()).with_updates(backend=backend)
         device = GPUDevice(device_spec, reserved_bytes=self.node_config.engine_reserved_bytes)
         self.engine = TextureSearchEngine(
             config=engine_config,
@@ -195,6 +199,7 @@ class SearchNode:
         return {
             "node_id": self.node_id,
             "device": self.engine.device.spec.name,
+            "backend": self.engine.backend,
             "health": self.health.state.value,
             "references": self.n_references,
             "capacity_images": self.capacity_images(),

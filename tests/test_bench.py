@@ -44,7 +44,7 @@ class TestTables:
             "table4", "table5", "table6", "table7", "sec8",
             "ablation-sort", "ablation-query-batch",
             "ablation-cbir", "ablation-streams",
-            "fault-tolerance",
+            "fault-tolerance", "backends",
         }
 
 
