@@ -11,6 +11,7 @@ from . import (
     fig1_waterfall,
     fig4_batching,
     sec8_distributed,
+    serving_bench,
     table1_cublas,
     table2_fp16,
     table3_batch_steps,
@@ -31,6 +32,7 @@ ALL_EXPERIMENTS = {
     "table6": table6_streams,
     "table7": table7_asymmetric,
     "sec8": sec8_distributed,
+    "serving": serving_bench,
     "fault-tolerance": fault_tolerance,
     "backends": backend_bench,
     # design-choice ablations (DESIGN.md Sec. 4)
@@ -52,6 +54,7 @@ __all__ = [
     "fig1_waterfall",
     "fig4_batching",
     "sec8_distributed",
+    "serving_bench",
     "table1_cublas",
     "table2_fp16",
     "table3_batch_steps",

@@ -15,9 +15,16 @@ from .query_batching import (
     knn_algorithm2_multiquery,
     query_batch_tradeoff,
 )
-from .ratio_test import good_match_count, match_images, ratio_test_mask, verify_pair
+from .ratio_test import (
+    batch_ratio_test_masks,
+    good_match_count,
+    match_images,
+    match_images_batch,
+    ratio_test_mask,
+    verify_pair,
+)
 from .registry import available_backends, create_kernel, register_kernel, resolve_backend
-from .results import ImageMatch, KnnResult, SearchResult
+from .results import GroupSearchResult, ImageMatch, KnnResult, SearchResult
 from .topk import functional_topk, insertion_topk, top2_scan
 
 __all__ = [
@@ -28,6 +35,7 @@ __all__ = [
     "DEFAULT_SCALE_FACTOR",
     "EngineConfig",
     "EngineStats",
+    "GroupSearchResult",
     "IdentificationDecision",
     "IdentificationPipeline",
     "ImageMatch",
@@ -41,6 +49,7 @@ __all__ = [
     "SearchResult",
     "TextureSearchEngine",
     "available_backends",
+    "batch_ratio_test_masks",
     "create_kernel",
     "functional_topk",
     "good_match_count",
@@ -49,6 +58,7 @@ __all__ = [
     "knn_algorithm2",
     "knn_algorithm2_multiquery",
     "match_images",
+    "match_images_batch",
     "query_batch_tradeoff",
     "prepare_query",
     "prepare_reference",

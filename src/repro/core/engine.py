@@ -39,7 +39,7 @@ from .batching import BatchBuilder, ReferenceBatch
 from .config import EngineConfig
 from .kernels import MatchKernel, PreparedQuery
 from .registry import create_kernel
-from .results import ImageMatch, SearchResult
+from .results import GroupSearchResult, ImageMatch, SearchResult
 
 __all__ = ["TextureSearchEngine", "EngineStats"]
 
@@ -329,32 +329,49 @@ class TextureSearchEngine:
         for cached in source:
             batch = cached.batch
             if cached.location is CacheLocation.HOST:
+                # one H2D per reference batch per *sweep* — a query
+                # group shares the transfer, it is not paid per query
                 self.device.h2d(batch.nbytes, pinned=self.cache.pinned)
                 host_images += batch.size
             if query.matrix.ndim == 3:  # a prepared query *group*
                 groups = self.kernel.match_batch_multi(self.device, batch, query, keep_masks)
             else:
                 groups = [self.kernel.match_batch(self.device, batch, query, keep_masks)]
+            # tombstone filtering: resolve the batch's dead slots once
+            # (kernels emit one match per slot, in slot order), then
+            # drop them from every query's list by index.
+            alive: list[int] | None = None
+            if self._dead_slots:
+                alive = [
+                    i for i, slot_id in enumerate(batch.ids)
+                    if not slot_id.startswith(_DEAD_PREFIX)
+                ]
+                if len(alive) == batch.size:
+                    alive = None
             for q, matches in enumerate(groups):
-                if self._dead_slots:
-                    matches = [m for m in matches if not m.reference_id.startswith(_DEAD_PREFIX)]
+                if alive is not None:
+                    matches = [matches[i] for i in alive]
                 per_query[q].extend(matches)
             images += batch.size
         elapsed = self.device.synchronize() - start_us
 
         if cfg.streams > 1 and host_images:
             # Replace the serial estimate for the host-resident part by
-            # the multi-stream overlap model (Sec. 6.2).
+            # the multi-stream overlap model (Sec. 6.2).  A query group
+            # widens the fused GEMM to ``n_queries * n`` columns while
+            # the per-batch H2D transfer stays the same, so the plan is
+            # computed at the group's fused width — the transfer is
+            # amortised across the group instead of charged per query.
             plan = plan_streams(
                 self.device.spec, self.device.cal, cfg.streams, cfg.batch_size,
-                m=cfg.m, n=cfg.n, d=cfg.d, precision=cfg.precision,
+                m=cfg.m, n=cfg.n * n_queries, d=cfg.d, precision=cfg.precision,
                 tensor_core=cfg.tensor_core, pinned=self.cache.pinned,
                 with_norms=self.kernel.needs_norms,
             )
             gpu_fraction = (images - host_images) / images if images else 0.0
             elapsed = (
                 elapsed * gpu_fraction
-                + host_images * n_queries / plan.throughput_images_per_s * 1e6
+                + host_images / plan.throughput_images_per_s * 1e6
             )
 
         if record_stats:
@@ -383,34 +400,52 @@ class TextureSearchEngine:
             images_searched=outcome.images,
         )
 
-    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
-        """Query-batched one-to-many search (Sec. 5.3 extension).
+    def search_group(
+        self,
+        query_descriptor_list: list[np.ndarray],
+        keep_masks: bool = False,
+    ) -> GroupSearchResult:
+        """Fused query-group search (Sec. 5.3 extension) — the serving
+        tier's unit of work.
 
-        All queries are answered in one sweep over the cache with fused
-        GEMMs — higher throughput, but every query's ``elapsed_us`` is
-        the whole group's completion time (the latency cost the paper
-        warns about).  Requires a multi-query backend (the RootSIFT
-        Algorithm-2 pipeline).
+        The whole group is answered in *one* sweep over the cache:
+        every reference batch is transferred (H2D) once for the group,
+        the GEMMs fuse to ``group * n`` query columns, tombstones are
+        filtered once per batch, and the multi-stream overlap
+        correction is applied at the fused width.  Higher throughput,
+        but every query's ``elapsed_us`` is the group's completion time
+        (the latency cost the paper warns about — quantified by the
+        ``serving`` bench experiment).  Requires a multi-query backend
+        (the RootSIFT Algorithm-2 pipeline).
         """
         if not self.kernel.supports_multiquery:
             raise ValueError(
-                "search_many requires a multi-query backend (the RootSIFT "
+                "query-group search requires a multi-query backend (the RootSIFT "
                 f"Algorithm-2 pipeline); backend {self.backend!r} does not support it"
             )
         if not query_descriptor_list:
-            return []
+            return GroupSearchResult()
         self.flush()
         query = self.kernel.prepare_query_many(self.device, query_descriptor_list)
         n_queries = len(query_descriptor_list)
-        outcome = self._execute_sweep(query, n_queries=n_queries)
-        return [
-            SearchResult(
-                matches=outcome.per_query_matches[q],
-                elapsed_us=outcome.elapsed_us,
-                images_searched=outcome.images,
-            )
-            for q in range(n_queries)
-        ]
+        outcome = self._execute_sweep(query, n_queries=n_queries, keep_masks=keep_masks)
+        return GroupSearchResult(
+            results=[
+                SearchResult(
+                    matches=outcome.per_query_matches[q],
+                    elapsed_us=outcome.elapsed_us,
+                    images_searched=outcome.images,
+                )
+                for q in range(n_queries)
+            ],
+            elapsed_us=outcome.elapsed_us,
+            images_searched=outcome.images,
+        )
+
+    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
+        """Query-batched one-to-many search; per-query view of
+        :meth:`search_group` (kept for API compatibility)."""
+        return self.search_group(query_descriptor_list).results
 
     # ------------------------------------------------------------------
     # verification

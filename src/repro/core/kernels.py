@@ -31,7 +31,7 @@ from ..gpusim.engine_model import GPUDevice
 from .algorithm1 import PreparedFeatures, knn_algorithm1, prepare_query, prepare_reference
 from .algorithm2 import knn_algorithm2
 from .batching import ReferenceBatch
-from .ratio_test import match_images
+from .ratio_test import batch_ratio_test_masks, match_images, match_images_batch
 from .results import ImageMatch
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -240,10 +240,10 @@ class Algorithm2Kernel(MatchKernel):
             tensor_core=cfg.tensor_core,
         )
         device.cpu_postprocess(batch.size, cfg.precision, cfg.n)
-        return [
-            match_images(batch.ids[i], result.image(i), cfg.ratio_threshold, keep_masks)
-            for i in range(batch.size)
-        ]
+        # one vectorised ratio-test/count pass over the whole batch
+        return match_images_batch(
+            batch.ids, result.distances, result.indices, cfg.ratio_threshold, keep_masks
+        )
 
     def match_batch_multi(self, device, batch, query, keep_masks=False):
         from .query_batching import knn_algorithm2_multiquery
@@ -260,12 +260,24 @@ class Algorithm2Kernel(MatchKernel):
             tensor_core=cfg.tensor_core,
         )
         device.cpu_postprocess(batch.size * n_queries, cfg.precision, cfg.n)
+        # one vectorised ratio-test/count pass over the whole
+        # (batch, n_queries) group, instead of per-pair calls
+        masks = batch_ratio_test_masks(result.distances, cfg.ratio_threshold)
+        counts = masks.sum(axis=-1)  # (batch, n_queries)
+        n_query = result.distances.shape[-1]
         groups: list[list[ImageMatch]] = []
         for q in range(n_queries):
-            view = result.query(q)
             groups.append(
                 [
-                    match_images(batch.ids[i], view.image(i), cfg.ratio_threshold, keep_masks)
+                    ImageMatch(
+                        reference_id=batch.ids[i],
+                        good_matches=int(counts[i, q]),
+                        n_query_features=n_query,
+                        match_mask=masks[i, q] if keep_masks else None,
+                        matched_reference_indices=(
+                            result.indices[i, q, 0][masks[i, q]] if keep_masks else None
+                        ),
+                    )
                     for i in range(batch.size)
                 ]
             )

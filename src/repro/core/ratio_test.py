@@ -16,7 +16,14 @@ import numpy as np
 
 from .results import ImageMatch, KnnResult
 
-__all__ = ["ratio_test_mask", "good_match_count", "match_images", "verify_pair"]
+__all__ = [
+    "ratio_test_mask",
+    "batch_ratio_test_masks",
+    "good_match_count",
+    "match_images",
+    "match_images_batch",
+    "verify_pair",
+]
 
 
 def ratio_test_mask(distances: np.ndarray, ratio_threshold: float) -> np.ndarray:
@@ -34,6 +41,53 @@ def ratio_test_mask(distances: np.ndarray, ratio_threshold: float) -> np.ndarray
     d1 = distances[0]
     d2 = distances[1]
     return d1 < ratio_threshold * d2
+
+
+def batch_ratio_test_masks(distances: np.ndarray, ratio_threshold: float) -> np.ndarray:
+    """Ratio-test masks for a whole batch in one array pass.
+
+    ``distances`` carries any leading batch shape over the per-image
+    ``(k>=2, n)`` layout — ``(batch, k, n)`` for a reference batch,
+    ``(batch, n_queries, k, n)`` for a fused query group — and the
+    returned boolean mask drops the ``k`` axis.  Identical per image to
+    :func:`ratio_test_mask`; vectorised so the CPU post-processing of a
+    sweep is one pass instead of one call per (image, query) pair.
+    """
+    distances = np.asarray(distances)
+    if distances.ndim < 2 or distances.shape[-2] < 2:
+        raise ValueError(
+            f"expected (..., k>=2, n) distances, got {distances.shape}"
+        )
+    if not (0.0 < ratio_threshold < 1.0):
+        raise ValueError("ratio_threshold must be in (0, 1)")
+    d1 = distances[..., 0, :]
+    d2 = distances[..., 1, :]
+    return d1 < ratio_threshold * d2
+
+
+def match_images_batch(
+    reference_ids,
+    distances: np.ndarray,
+    indices: np.ndarray,
+    ratio_threshold: float,
+    keep_masks: bool = False,
+) -> list[ImageMatch]:
+    """Per-image :class:`ImageMatch` list for one ``(batch, k, n)``
+    2-NN result, with the ratio test and match counting done in a
+    single vectorised pass over the whole batch."""
+    masks = batch_ratio_test_masks(distances, ratio_threshold)  # (batch, n)
+    counts = masks.sum(axis=-1)
+    n_query = distances.shape[-1]
+    return [
+        ImageMatch(
+            reference_id=ref_id,
+            good_matches=int(counts[i]),
+            n_query_features=n_query,
+            match_mask=masks[i] if keep_masks else None,
+            matched_reference_indices=indices[i, 0][masks[i]] if keep_masks else None,
+        )
+        for i, ref_id in enumerate(reference_ids)
+    ]
 
 
 def good_match_count(distances: np.ndarray, ratio_threshold: float) -> int:

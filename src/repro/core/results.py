@@ -6,7 +6,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["KnnResult", "ImageMatch", "SearchResult"]
+__all__ = ["KnnResult", "ImageMatch", "SearchResult", "GroupSearchResult"]
 
 
 @dataclass
@@ -75,3 +75,36 @@ class SearchResult:
         if self.elapsed_us <= 0:
             return 0.0
         return self.images_searched / (self.elapsed_us * 1e-6)
+
+
+@dataclass
+class GroupSearchResult:
+    """Outcome of one fused query-group sweep (Sec. 5.3 extension).
+
+    ``results`` holds one :class:`SearchResult` per query, in
+    submission order; every member shares the group's completion time.
+    ``images_searched`` counts cached references scanned *once* —
+    the whole point of the group is that the sweep (and its H2D
+    traffic) is shared, so pair throughput multiplies by the group
+    size.
+    """
+
+    results: list[SearchResult] = field(default_factory=list)
+    elapsed_us: float = 0.0
+    images_searched: int = 0
+
+    @property
+    def group_size(self) -> int:
+        return len(self.results)
+
+    @property
+    def pairs_compared(self) -> int:
+        """Image comparisons across the whole group."""
+        return self.images_searched * self.group_size
+
+    @property
+    def throughput_images_per_s(self) -> float:
+        """Fused throughput: (reference, query) pairs per second."""
+        if self.elapsed_us <= 0:
+            return 0.0
+        return self.pairs_compared / (self.elapsed_us * 1e-6)

@@ -5,6 +5,7 @@ layer (health states, deterministic fault injection, retries and
 partial-result degradation)."""
 
 from .cluster import (
+    ClusterGroupResult,
     ClusterSearchResult,
     DistributedSearchSystem,
     RetryPolicy,
@@ -26,6 +27,7 @@ from .serialization import (
 )
 
 __all__ = [
+    "ClusterGroupResult",
     "ClusterSearchResult",
     "ConsistentHashPlacement",
     "DispatchRecord",

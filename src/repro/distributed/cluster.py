@@ -32,7 +32,12 @@ from .kvstore import KVStore
 from .node import NodeConfig, SearchNode
 from .serialization import FeatureRecord, serialize_record
 
-__all__ = ["ClusterSearchResult", "DistributedSearchSystem", "RetryPolicy"]
+__all__ = [
+    "ClusterGroupResult",
+    "ClusterSearchResult",
+    "DistributedSearchSystem",
+    "RetryPolicy",
+]
 
 #: request routing + result aggregation overhead of the web tier per
 #: search (REST parsing, Redis metadata lookups, fan-out RPC).
@@ -100,6 +105,34 @@ class ClusterSearchResult:
         if self.elapsed_us <= 0:
             return 0.0
         return self.images_searched / (self.elapsed_us * 1e-6)
+
+
+@dataclass
+class ClusterGroupResult:
+    """Outcome of one fused query-group scatter-gather.
+
+    ``results`` holds one :class:`ClusterSearchResult` per query in
+    submission order.  Partial-result metadata propagates *per query*:
+    each member carries its own ``partial`` flag and its own (private)
+    ``unsearched_shards`` list — a shard that died mid-group leaves
+    every member of the group flagged, and downstream consumers (the
+    serving tier fuses queries from unrelated requests into one group)
+    can attach or mutate one request's metadata without aliasing
+    another's.
+    """
+
+    results: list[ClusterSearchResult] = field(default_factory=list)
+    elapsed_us: float = 0.0
+    retries: int = 0
+    unsearched_shards: list[str] = field(default_factory=list)
+
+    @property
+    def group_size(self) -> int:
+        return len(self.results)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.unsearched_shards)
 
 
 class DistributedSearchSystem:
@@ -348,21 +381,22 @@ class DistributedSearchSystem:
             retries=retries,
         )
 
-    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[ClusterSearchResult]:
-        """Query-batched scatter-gather (Sec. 5.3 applied cluster-wide).
+    def search_group(self, query_descriptor_list: list[np.ndarray]) -> ClusterGroupResult:
+        """Fused query-group scatter-gather (Sec. 5.3 applied
+        cluster-wide) — the serving tier's unit of work.
 
-        Each node answers the whole query group in one sweep
-        (:meth:`TextureSearchEngine.search_many`); per-query results are
-        then gathered.  All queries share the group's completion time.
-        Fault handling matches :meth:`search`, at group granularity: a
-        node that fails its retries leaves *every* query's result
-        partial.  Aggregate accounting is taken per grouped result — a
-        node's contribution to a query's ``images_searched`` is that
-        query's own count, and its latency is the slowest member of the
-        group, not whatever ``grouped[0]`` happened to report.
+        The fan-out is *per group*, not per query: each node answers
+        the whole group in one sweep (:meth:`SearchNode.search_many`,
+        one RPC and one fault/health gate per shard per group), and
+        per-query results are gathered afterwards.  All queries share
+        the group's completion time.  Fault handling matches
+        :meth:`search` at group granularity: a shard that dies
+        mid-group leaves *every* query's result ``partial``, each with
+        its own copy of ``unsearched_shards`` (no shared mutable
+        state between the per-query results).
         """
         if not query_descriptor_list:
-            return []
+            return ClusterGroupResult()
         n_queries = len(query_descriptor_list)
         per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
         per_node_all: list[dict[str, SearchResult]] = [dict() for _ in range(n_queries)]
@@ -392,18 +426,28 @@ class DistributedSearchSystem:
             self.repair()
         self._check_degradation(populated, unsearched)
         elapsed = slowest_us + WEB_TIER_OVERHEAD_US
-        return [
-            ClusterSearchResult(
-                matches=per_query_matches[q],
-                per_node=per_node_all[q],
-                elapsed_us=elapsed,
-                images_searched=per_query_images[q],
-                partial=bool(unsearched),
-                unsearched_shards=list(unsearched),
-                retries=retries,
-            )
-            for q in range(n_queries)
-        ]
+        return ClusterGroupResult(
+            results=[
+                ClusterSearchResult(
+                    matches=per_query_matches[q],
+                    per_node=per_node_all[q],
+                    elapsed_us=elapsed,
+                    images_searched=per_query_images[q],
+                    partial=bool(unsearched),
+                    unsearched_shards=list(unsearched),  # private copy per query
+                    retries=retries,
+                )
+                for q in range(n_queries)
+            ],
+            elapsed_us=elapsed,
+            retries=retries,
+            unsearched_shards=list(unsearched),
+        )
+
+    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[ClusterSearchResult]:
+        """Query-batched scatter-gather; per-query view of
+        :meth:`search_group` (kept for API compatibility)."""
+        return self.search_group(query_descriptor_list).results
 
     # ------------------------------------------------------------------
     # health / failover

@@ -78,9 +78,10 @@ class WebTier:
         started = self.worker_clock_us[worker]
         response = self.routers[worker].handle(request)
         cost = REQUEST_HANDLING_US
-        if request.path == "/search" and response.ok:
+        if request.path in ("/search", "/search/batch") and response.ok:
             # the cluster already accounts the web overhead once;
             # subtract it so the tier model doesn't double charge
+            # (batch responses carry the group's shared elapsed_us)
             cost += max(0.0, response.body.get("elapsed_us", 0.0) - WEB_TIER_OVERHEAD_US)
         self.worker_clock_us[worker] = started + cost
         self.requests_handled[worker] += 1

@@ -10,6 +10,7 @@ Routes::
     PUT    /textures/{id}       {"descriptors": [[...], ...]}
     DELETE /textures/{id}
     POST   /search              {"descriptors": [[...], ...], "top": k}
+    POST   /search/batch        {"queries": [[[...], ...], ...], "top": k}
     GET    /stats
     GET    /health
 
@@ -32,6 +33,10 @@ from .cluster import DistributedSearchSystem
 __all__ = ["Request", "Response", "Router", "build_api"]
 
 _ID_PATTERN = re.compile(r"^[A-Za-z0-9_.:-]{1,128}$")
+
+#: upper bound on fused query-group size accepted by ``/search/batch``
+#: (the serving tier's batcher never exceeds its own ``max_batch``).
+MAX_GROUP_SIZE = 64
 
 
 @dataclass
@@ -175,6 +180,58 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "throughput_images_per_s": result.throughput_images_per_s,
                 "partial": result.partial,
                 "unsearched_shards": list(result.unsearched_shards),
+            },
+        )
+
+    @router.route("POST", "/search/batch")
+    def search_batch(request: Request) -> Response:
+        """Fused query-group search: one cluster sweep answers every
+        query in the body.  Per-query partial-result metadata
+        (``partial``, ``unsearched_shards``) is preserved in each
+        query's entry — a shard dying mid-group flags every member."""
+        raw_queries = request.body.get("queries")
+        if not isinstance(raw_queries, (list, tuple)) or not raw_queries:
+            raise RestError(400, "missing or empty 'queries' list")
+        if len(raw_queries) > MAX_GROUP_SIZE:
+            raise RestError(
+                400, f"at most {MAX_GROUP_SIZE} queries per batch, got {len(raw_queries)}"
+            )
+        top = int(request.body.get("top", 1))
+        if not (1 <= top <= 100):
+            raise RestError(400, "'top' must be in [1, 100]")
+        matrices = [
+            _parse_descriptors({"descriptors": q}, d) for q in raw_queries
+        ]
+        try:
+            group = system.search_group(matrices)
+        except DegradedClusterError as exc:
+            raise RestError(503, str(exc)) from exc
+        return Response(
+            200,
+            {
+                "group_size": group.group_size,
+                "elapsed_us": group.elapsed_us,
+                "retries": group.retries,
+                "partial": group.partial,
+                "unsearched_shards": list(group.unsearched_shards),
+                "queries": [
+                    {
+                        "results": [
+                            {
+                                "id": m.reference_id,
+                                "score": m.score,
+                                "good_matches": m.good_matches,
+                            }
+                            for m in result.top(top)
+                        ],
+                        "images_searched": result.images_searched,
+                        "elapsed_us": result.elapsed_us,
+                        "partial": result.partial,
+                        "unsearched_shards": list(result.unsearched_shards),
+                        "retries": result.retries,
+                    }
+                    for result in group.results
+                ],
             },
         )
 

@@ -1,0 +1,238 @@
+"""The admission queue and its deterministic event loop.
+
+:class:`DynamicBatcher` is a FIFO admission queue governed by a
+:class:`BatchPolicy`: a group launches when ``max_batch`` requests are
+pending ("size" trigger) or when the oldest pending request has waited
+``max_wait_us`` ("timeout" trigger), whichever trips first.  Requests
+that arrive while a group is executing join the *next* group —
+continuous batching, not static windowing.
+
+:func:`simulate_serving` advances a simulated microsecond clock over a
+sorted arrival trace.  The device is modelled as a single serial
+executor (one fused sweep at a time, matching the engine's serialized
+device timeline); each launch charges the executor-reported
+``elapsed_us`` and records per-request queue wait, execution span and
+end-to-end latency.  No wall-clock reads anywhere — identical traces
+replay byte-identical schedules.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+from .metrics import ServingReport
+
+__all__ = [
+    "BatchPolicy",
+    "DynamicBatcher",
+    "GroupRecord",
+    "RequestRecord",
+    "ServingRequest",
+    "build_trace",
+    "simulate_serving",
+]
+
+
+@dataclass(frozen=True)
+class BatchPolicy:
+    """Admission policy: launch at ``max_batch`` pending requests or
+    once the oldest has waited ``max_wait_us``, whichever trips first.
+
+    ``max_batch=1`` degenerates to per-query serving (the baseline);
+    ``max_wait_us=0`` launches whatever is pending as soon as the
+    device frees up, never holding a request back for company.
+    """
+
+    max_batch: int = 8
+    max_wait_us: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
+        if self.max_wait_us < 0:
+            raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+
+
+@dataclass(frozen=True)
+class ServingRequest:
+    """One query submission: an arrival timestamp plus an opaque query
+    payload (a descriptor matrix for engine executors, anything the
+    executor understands otherwise)."""
+
+    request_id: int
+    arrival_us: float
+    query: Any
+
+
+@dataclass
+class GroupRecord:
+    """One fused launch: which requests rode together and why."""
+
+    group_id: int
+    request_ids: list[int]
+    trigger: str  # "size" | "timeout"
+    launched_us: float
+    completed_us: float
+
+    @property
+    def size(self) -> int:
+        return len(self.request_ids)
+
+    @property
+    def execute_us(self) -> float:
+        return self.completed_us - self.launched_us
+
+
+@dataclass
+class RequestRecord:
+    """Per-request latency decomposition: ``latency = queue_wait + execute``."""
+
+    request_id: int
+    group_id: int
+    group_size: int
+    arrival_us: float
+    dispatched_us: float
+    completed_us: float
+    result: Any = field(default=None, repr=False)
+
+    @property
+    def queue_wait_us(self) -> float:
+        return self.dispatched_us - self.arrival_us
+
+    @property
+    def execute_us(self) -> float:
+        return self.completed_us - self.dispatched_us
+
+    @property
+    def latency_us(self) -> float:
+        return self.completed_us - self.arrival_us
+
+
+class DynamicBatcher:
+    """FIFO admission queue; pure policy, no clock of its own."""
+
+    def __init__(self, policy: BatchPolicy) -> None:
+        self.policy = policy
+        self._pending: deque[ServingRequest] = deque()
+
+    def __len__(self) -> int:
+        return len(self._pending)
+
+    def enqueue(self, request: ServingRequest) -> None:
+        self._pending.append(request)
+
+    def deadline_us(self) -> float | None:
+        """When the oldest pending request's wait budget expires."""
+        if not self._pending:
+            return None
+        return self._pending[0].arrival_us + self.policy.max_wait_us
+
+    def trigger(self, now_us: float) -> str | None:
+        """Which bound (if any) says "launch now"?"""
+        if not self._pending:
+            return None
+        if len(self._pending) >= self.policy.max_batch:
+            return "size"
+        if now_us >= self.deadline_us():
+            return "timeout"
+        return None
+
+    def take(self) -> list[ServingRequest]:
+        """Pop the oldest ``max_batch`` pending requests."""
+        count = min(self.policy.max_batch, len(self._pending))
+        return [self._pending.popleft() for _ in range(count)]
+
+
+def build_trace(
+    arrivals: Sequence[float], queries: Sequence[Any]
+) -> list[ServingRequest]:
+    """Zip arrival times with query payloads into a trace.  Request ids
+    follow submission order, which also breaks arrival-time ties."""
+    if len(arrivals) != len(queries):
+        raise ValueError(
+            f"{len(arrivals)} arrivals but {len(queries)} queries"
+        )
+    return [
+        ServingRequest(request_id=i, arrival_us=float(t), query=q)
+        for i, (t, q) in enumerate(zip(arrivals, queries))
+    ]
+
+
+def simulate_serving(
+    executor,
+    trace: Iterable[ServingRequest],
+    policy: BatchPolicy,
+) -> ServingReport:
+    """Run the event loop: admit arrivals, trip the policy, charge the
+    executor, account latency.  Returns a :class:`ServingReport`.
+
+    ``executor`` is any object with
+    ``execute(queries) -> (payloads, elapsed_us)`` — see
+    :mod:`repro.serving.executors`.
+    """
+    requests = sorted(trace, key=lambda r: r.arrival_us)
+    batcher = DynamicBatcher(policy)
+    records: list[RequestRecord] = []
+    groups: list[GroupRecord] = []
+
+    i = 0
+    n = len(requests)
+    t = 0.0
+    free_at = 0.0
+    while i < n or len(batcher):
+        if not len(batcher):
+            t = max(t, requests[i].arrival_us)
+        while i < n and requests[i].arrival_us <= t:
+            batcher.enqueue(requests[i])
+            i += 1
+        if t < free_at:
+            # device busy: late arrivals admitted above join the next
+            # group once the running sweep completes.
+            t = free_at
+            continue
+        trig = batcher.trigger(t)
+        if trig is None:
+            # Idle device, under-full group, wait budget unspent: sleep
+            # until the deadline or the next arrival, whichever first.
+            deadline = batcher.deadline_us()
+            if i < n:
+                t = min(deadline, requests[i].arrival_us)
+            else:
+                t = deadline
+            continue
+        group = batcher.take()
+        payloads, elapsed_us = executor.execute([r.query for r in group])
+        if len(payloads) != len(group):
+            raise RuntimeError(
+                f"executor returned {len(payloads)} payloads for a "
+                f"group of {len(group)}"
+            )
+        completed = t + float(elapsed_us)
+        group_id = len(groups)
+        groups.append(
+            GroupRecord(
+                group_id=group_id,
+                request_ids=[r.request_id for r in group],
+                trigger=trig,
+                launched_us=t,
+                completed_us=completed,
+            )
+        )
+        for request, payload in zip(group, payloads):
+            records.append(
+                RequestRecord(
+                    request_id=request.request_id,
+                    group_id=group_id,
+                    group_size=len(group),
+                    arrival_us=request.arrival_us,
+                    dispatched_us=t,
+                    completed_us=completed,
+                    result=payload,
+                )
+            )
+        free_at = completed
+
+    records.sort(key=lambda r: r.request_id)
+    return ServingReport(policy=policy, records=records, groups=groups)

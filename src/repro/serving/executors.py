@@ -1,0 +1,116 @@
+"""Group executors: the pluggable back half of the serving loop.
+
+Each executor turns one admitted group into ``(payloads, elapsed_us)``
+where ``payloads`` has one entry per query (in order) and
+``elapsed_us`` is the simulated time the whole group occupied the
+backend.  The event loop treats the backend as serial, so
+``elapsed_us`` is exactly how long the device (or cluster) is busy.
+
+Executors are duck-typed — :class:`GroupExecutor` documents the
+contract; anything with a matching ``execute`` works.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any
+
+import numpy as np
+
+__all__ = [
+    "ClusterGroupExecutor",
+    "FusedEngineExecutor",
+    "GroupExecutor",
+    "SerialEngineExecutor",
+    "WebTierBatchExecutor",
+]
+
+
+class GroupExecutor(ABC):
+    """Contract: serve one fused group, report per-query payloads and
+    the simulated time the group held the backend."""
+
+    name: str = "abstract"
+
+    @abstractmethod
+    def execute(self, queries: list[Any]) -> tuple[list[Any], float]:
+        """Return ``(payloads, elapsed_us)`` with ``len(payloads) ==
+        len(queries)``."""
+
+
+class FusedEngineExecutor(GroupExecutor):
+    """One engine, one fused sweep per group: every reference batch is
+    staged (H2D) once and answers all queries in the group."""
+
+    name = "engine-fused"
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def execute(self, queries: list[Any]) -> tuple[list[Any], float]:
+        group = self.engine.search_group(queries)
+        return list(group.results), group.elapsed_us
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"FusedEngineExecutor({self.engine!r})"
+
+
+class SerialEngineExecutor(GroupExecutor):
+    """Per-query baseline: the same engine, but each query runs its own
+    full sweep back-to-back.  This is what serving looks like without
+    the batcher — every query re-pays H2D staging and kernel launches."""
+
+    name = "engine-serial"
+
+    def __init__(self, engine) -> None:
+        self.engine = engine
+
+    def execute(self, queries: list[Any]) -> tuple[list[Any], float]:
+        results = [self.engine.search(q) for q in queries]
+        elapsed_us = float(sum(r.elapsed_us for r in results))
+        return results, elapsed_us
+
+
+class ClusterGroupExecutor(GroupExecutor):
+    """Whole-group dispatch across the sharded cluster: one scatter per
+    shard serves the entire group, shard sweeps overlap, and per-query
+    partial-result metadata survives in each payload."""
+
+    name = "cluster-fused"
+
+    def __init__(self, system) -> None:
+        self.system = system
+
+    def execute(self, queries: list[Any]) -> tuple[list[Any], float]:
+        group = self.system.search_group(queries)
+        return list(group.results), group.elapsed_us
+
+
+class WebTierBatchExecutor(GroupExecutor):
+    """The full front door: groups go through the load balancer as
+    ``POST /search/batch`` requests, so executor time includes web-tier
+    overhead and the payloads are the JSON-style response dicts."""
+
+    name = "webtier-batch"
+
+    def __init__(self, tier, top: int = 5) -> None:
+        self.tier = tier
+        self.top = top
+
+    def execute(self, queries: list[Any]) -> tuple[list[Any], float]:
+        # Imported here so repro.serving does not hard-depend on the
+        # distributed tier (engine-only users never touch REST).
+        from ..distributed.rest import Request
+
+        body = {
+            "queries": [np.asarray(q).tolist() for q in queries],
+            "top": self.top,
+        }
+        record = self.tier.handle(Request("POST", "/search/batch", body))
+        response = record.response
+        if not response.ok:
+            raise RuntimeError(
+                f"/search/batch failed with {response.status}: "
+                f"{response.body.get('error')}"
+            )
+        return list(response.body["queries"]), record.latency_us

@@ -1,0 +1,48 @@
+"""Arrival-trace generators for the serving bench.
+
+Both generators are pure functions of their arguments (the Poisson one
+of its seed), so every trace replays exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["burst_arrivals", "poisson_arrivals"]
+
+
+def burst_arrivals(
+    n_bursts: int,
+    burst_size: int,
+    interval_us: float,
+    start_us: float = 0.0,
+) -> list[float]:
+    """Closed-loop burst traffic: ``burst_size`` simultaneous arrivals
+    every ``interval_us``.  This is the "offered concurrency" knob of
+    the serving experiment — concurrency ``c`` means bursts of ``c``."""
+    if n_bursts < 0 or burst_size < 0:
+        raise ValueError("n_bursts and burst_size must be >= 0")
+    if interval_us < 0:
+        raise ValueError(f"interval_us must be >= 0, got {interval_us}")
+    return [
+        start_us + b * interval_us
+        for b in range(n_bursts)
+        for _ in range(burst_size)
+    ]
+
+
+def poisson_arrivals(
+    n_requests: int,
+    rate_per_s: float,
+    seed: int = 0,
+    start_us: float = 0.0,
+) -> list[float]:
+    """Open-loop Poisson traffic at ``rate_per_s`` mean arrivals/s:
+    cumulative sum of seeded exponential inter-arrival gaps."""
+    if n_requests < 0:
+        raise ValueError(f"n_requests must be >= 0, got {n_requests}")
+    if rate_per_s <= 0:
+        raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+    rng = np.random.default_rng(seed)
+    gaps_us = rng.exponential(scale=1e6 / rate_per_s, size=n_requests)
+    return (start_us + np.cumsum(gaps_us)).tolist()

@@ -5,11 +5,14 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.core import (
+    GroupSearchResult,
     ImageMatch,
     KnnResult,
     SearchResult,
+    batch_ratio_test_masks,
     good_match_count,
     match_images,
+    match_images_batch,
     ratio_test_mask,
     verify_pair,
 )
@@ -69,6 +72,89 @@ class TestMatchImages:
         assert same and count == 2
         same, _ = verify_pair(self._knn(), 0.8, min_matches=3)
         assert not same
+
+
+class TestBatchMatchCounting:
+    """The vectorised batch path must count exactly like the scalar one."""
+
+    def _batch(self, seed=0, batch=7, n=24):
+        rng = np.random.default_rng(seed)
+        distances = np.sort(rng.random((batch, 2, n)), axis=1)
+        # sprinkle exact ties and zero second-neighbours (edge cases)
+        distances[0, 0, 0] = distances[0, 1, 0]
+        distances[1, :, 1] = 0.0
+        indices = rng.integers(0, 64, size=(batch, 2, n)).astype(np.int32)
+        return distances, indices
+
+    def test_masks_match_scalar(self):
+        distances, _ = self._batch()
+        masks = batch_ratio_test_masks(distances, 0.8)
+        for i in range(distances.shape[0]):
+            np.testing.assert_array_equal(
+                masks[i], ratio_test_mask(distances[i], 0.8)
+            )
+
+    def test_masks_handle_query_group_axis(self):
+        distances, _ = self._batch()
+        grouped = np.stack([distances, distances * 0.5])  # (2, batch, k, n)
+        masks = batch_ratio_test_masks(grouped, 0.8)
+        assert masks.shape == (2, distances.shape[0], distances.shape[-1])
+        np.testing.assert_array_equal(
+            masks[0], batch_ratio_test_masks(distances, 0.8)
+        )
+
+    def test_counts_identical_to_match_images(self):
+        distances, indices = self._batch(seed=3)
+        ids = [f"r{i}" for i in range(distances.shape[0])]
+        batch_matches = match_images_batch(ids, distances, indices, 0.8)
+        for i, match in enumerate(batch_matches):
+            scalar = match_images(
+                ids[i], KnnResult(distances[i], indices[i]), 0.8
+            )
+            assert match.reference_id == scalar.reference_id
+            assert match.good_matches == scalar.good_matches
+            assert match.n_query_features == scalar.n_query_features
+
+    def test_keep_masks_identical_to_match_images(self):
+        distances, indices = self._batch(seed=4)
+        ids = [f"r{i}" for i in range(distances.shape[0])]
+        batch_matches = match_images_batch(
+            ids, distances, indices, 0.8, keep_masks=True
+        )
+        for i, match in enumerate(batch_matches):
+            scalar = match_images(
+                ids[i], KnnResult(distances[i], indices[i]), 0.8, keep_mask=True
+            )
+            np.testing.assert_array_equal(match.match_mask, scalar.match_mask)
+            np.testing.assert_array_equal(
+                match.matched_reference_indices,
+                scalar.matched_reference_indices,
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_ratio_test_masks(np.ones((3, 1, 4)), 0.8)
+        with pytest.raises(ValueError):
+            batch_ratio_test_masks(np.ones(5), 0.8)
+        with pytest.raises(ValueError):
+            batch_ratio_test_masks(np.ones((3, 2, 4)), 1.0)
+
+
+class TestGroupSearchResult:
+    def test_pairs_and_throughput(self):
+        group = GroupSearchResult(
+            results=[SearchResult(), SearchResult(), SearchResult()],
+            elapsed_us=2_000_000.0,
+            images_searched=10,
+        )
+        assert group.group_size == 3
+        assert group.pairs_compared == 30
+        assert group.throughput_images_per_s == pytest.approx(15.0)
+
+    def test_empty(self):
+        group = GroupSearchResult()
+        assert group.group_size == 0
+        assert group.throughput_images_per_s == 0.0
 
 
 class TestResultContainers:

@@ -57,6 +57,27 @@ class TestFunctionalTopk:
         vals, _ = functional_topk(a, k)
         np.testing.assert_allclose(vals, np.sort(a, axis=0)[:k])
 
+    @given(
+        hnp.arrays(
+            np.float64,
+            # tall arrays cross the 4*k >= m boundary both ways, so both
+            # the argpartition fast path and the full sort are exercised
+            shape=st.tuples(st.integers(2, 120), st.integers(1, 6)),
+            # tiny value alphabet => columns are riddled with ties
+            elements=st.integers(0, 3).map(float),
+        ),
+        st.integers(1, 5),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_property_ties_break_to_lower_row(self, a, k):
+        k = min(k, a.shape[0])
+        vals, idx = functional_topk(a, k)
+        expected_idx = np.argsort(a, axis=0, kind="stable")[:k]
+        np.testing.assert_array_equal(idx, expected_idx)
+        np.testing.assert_allclose(
+            vals, np.take_along_axis(a, expected_idx, axis=0)
+        )
+
 
 class TestDeviceTopk:
     def test_scan_and_insertion_agree(self, p100):
