@@ -10,6 +10,7 @@ from . import (
     fault_tolerance,
     fig1_waterfall,
     fig4_batching,
+    observability,
     sec8_distributed,
     serving_bench,
     table1_cublas,
@@ -34,6 +35,7 @@ ALL_EXPERIMENTS = {
     "sec8": sec8_distributed,
     "serving": serving_bench,
     "fault-tolerance": fault_tolerance,
+    "observability": observability,
     "backends": backend_bench,
     # design-choice ablations (DESIGN.md Sec. 4)
     "ablation-sort": SimpleNamespace(run=ablations.run_sort_ablation),
@@ -53,6 +55,7 @@ __all__ = [
     "fault_tolerance",
     "fig1_waterfall",
     "fig4_batching",
+    "observability",
     "sec8_distributed",
     "serving_bench",
     "table1_cublas",

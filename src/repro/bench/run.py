@@ -62,6 +62,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="queries per brick for Table 7 (default: experiment default)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record request-scoped spans across the run and export them "
+        "as Perfetto/Chrome JSON to this path (open in ui.perfetto.dev)",
+    )
     return parser
 
 
@@ -101,6 +108,14 @@ def main(argv: list[str] | None = None) -> int:
         )
         return 2
 
+    tracer = None
+    if args.trace:
+        from ..obs import default_tracer
+
+        tracer = default_tracer()
+        tracer.reset()
+        tracer.enable()
+
     failures = 0
     for name in names:
         started = time.perf_counter()
@@ -113,6 +128,11 @@ def main(argv: list[str] | None = None) -> int:
         elapsed = time.perf_counter() - started
         print(result.to_text())
         print(f"[{name}] completed in {elapsed:.1f}s\n")
+
+    if tracer is not None:
+        tracer.disable()
+        tracer.export(args.trace)
+        print(f"trace: {len(tracer.spans)} spans exported to {args.trace}")
     return 1 if failures else 0
 
 

@@ -23,9 +23,24 @@ from ..core.batching import ReferenceBatch
 from ..errors import CacheCapacityError
 from ..gpusim.engine_model import GPUDevice
 from ..gpusim.memory import Allocation
+from ..obs import default_registry
 from .fifo import FifoCache
 
 __all__ = ["CacheLocation", "HybridFeatureCache", "CachedBatch"]
+
+_REG = default_registry()
+_ADDS = _REG.counter(
+    "repro_cache_adds_total",
+    "Reference batches enqueued into the hybrid cache",
+)
+_DEMOTIONS = _REG.counter(
+    "repro_cache_demotions_total",
+    "GPU-resident batches swapped out to the host level",
+)
+_EVICTIONS = _REG.counter(
+    "repro_cache_evictions_total",
+    "Batches dropped past the host level (combined capacity exhausted)",
+)
 
 
 class CacheLocation(Enum):
@@ -109,6 +124,7 @@ class HybridFeatureCache:
             cached.gpu_allocation = self._alloc_gpu(nbytes, f"batch{batch.batch_id}")
             evicted = self._gpu.put(batch.batch_id, cached, nbytes)
             self._order.append(batch.batch_id)
+            _ADDS.inc()
             for _key, entry in evicted:
                 self._demote(entry.value)
         except CacheCapacityError:
@@ -137,12 +153,15 @@ class HybridFeatureCache:
             cached.gpu_allocation = None
         cached.location = CacheLocation.HOST
         if self.host_budget_bytes <= 0:
+            _EVICTIONS.inc()
             raise CacheCapacityError(
                 "GPU cache full and no host cache configured "
                 f"(batch {cached.batch.batch_id} has nowhere to go)"
             )
+        _DEMOTIONS.inc()
         evicted = self._host.put(cached.batch.batch_id, cached, cached.batch.nbytes)
         if evicted:
+            _EVICTIONS.inc(len(evicted))
             dropped = ", ".join(str(k) for k, _ in evicted)
             raise CacheCapacityError(
                 f"hybrid cache exhausted: host level evicted batch(es) {dropped}"

@@ -26,6 +26,7 @@ serial NumPy execution cannot exhibit.
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Iterable
 
@@ -34,6 +35,7 @@ import numpy as np
 from ..cache.hybrid import CachedBatch, CacheLocation, HybridFeatureCache
 from ..gpusim.device import TESLA_P100
 from ..gpusim.engine_model import GPUDevice
+from ..obs import default_registry, default_tracer
 from ..pipeline.scheduler import plan_streams
 from .batching import BatchBuilder, ReferenceBatch
 from .config import EngineConfig
@@ -42,6 +44,34 @@ from .registry import create_kernel
 from .results import GroupSearchResult, ImageMatch, SearchResult
 
 __all__ = ["TextureSearchEngine", "EngineStats"]
+
+_REG = default_registry()
+_TRACER = default_tracer()
+_SWEEPS = _REG.counter(
+    "repro_engine_sweeps_total",
+    "Cache sweeps executed by search engines (search + fused groups)",
+)
+_SWEEP_US = _REG.histogram(
+    "repro_engine_sweep_us",
+    "Simulated time of one full cache sweep",
+)
+_STEP_US = _REG.histogram(
+    "repro_engine_step_us",
+    "Simulated per-sweep time by pipeline step (StepProfiler deltas)",
+    ("step",),
+)
+_H2D_BYTES = _REG.counter(
+    "repro_engine_h2d_bytes_total",
+    "Bytes staged host-to-device for host-resident reference batches",
+)
+_SWEEP_LOOKUPS = _REG.counter(
+    "repro_cache_sweep_lookups_total",
+    "Reference-batch touches during sweeps, by cache residency",
+    ("result",),
+)
+#: pre-bound children — the sweep loop must not pay label resolution.
+_SWEEP_HIT = _SWEEP_LOOKUPS.labels(result="hit")
+_SWEEP_MISS = _SWEEP_LOOKUPS.labels(result="miss")
 
 #: prefix of tombstoned slot ids (never collides with user ids, which
 #: the REST layer validates).
@@ -321,69 +351,98 @@ class TextureSearchEngine:
         """
         cfg = self.config
         profile_before = self.device.profiler.as_dict() if record_stats else {}
-        start_us = self.device.synchronize()
-        per_query: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
-        images = 0
-        host_images = 0
-        source = self.cache.batches() if batches is None else batches
-        for cached in source:
-            batch = cached.batch
-            if cached.location is CacheLocation.HOST:
-                # one H2D per reference batch per *sweep* — a query
-                # group shares the transfer, it is not paid per query
-                self.device.h2d(batch.nbytes, pinned=self.cache.pinned)
-                host_images += batch.size
-            if query.matrix.ndim == 3:  # a prepared query *group*
-                groups = self.kernel.match_batch_multi(self.device, batch, query, keep_masks)
-            else:
-                groups = [self.kernel.match_batch(self.device, batch, query, keep_masks)]
-            # tombstone filtering: resolve the batch's dead slots once
-            # (kernels emit one match per slot, in slot order), then
-            # drop them from every query's list by index.
-            alive: list[int] | None = None
-            if self._dead_slots:
-                alive = [
-                    i for i, slot_id in enumerate(batch.ids)
-                    if not slot_id.startswith(_DEAD_PREFIX)
-                ]
-                if len(alive) == batch.size:
-                    alive = None
-            for q, matches in enumerate(groups):
-                if alive is not None:
-                    matches = [matches[i] for i in alive]
-                per_query[q].extend(matches)
-            images += batch.size
-        elapsed = self.device.synchronize() - start_us
-
-        if cfg.streams > 1 and host_images:
-            # Replace the serial estimate for the host-resident part by
-            # the multi-stream overlap model (Sec. 6.2).  A query group
-            # widens the fused GEMM to ``n_queries * n`` columns while
-            # the per-batch H2D transfer stays the same, so the plan is
-            # computed at the group's fused width — the transfer is
-            # amortised across the group instead of charged per query.
-            plan = plan_streams(
-                self.device.spec, self.device.cal, cfg.streams, cfg.batch_size,
-                m=cfg.m, n=cfg.n * n_queries, d=cfg.d, precision=cfg.precision,
-                tensor_core=cfg.tensor_core, pinned=self.cache.pinned,
-                with_norms=self.kernel.needs_norms,
+        sweep_cm = (
+            _TRACER.span(
+                "engine.sweep", layer="engine",
+                backend=self.kernel.name, queries=n_queries,
             )
-            gpu_fraction = (images - host_images) / images if images else 0.0
-            elapsed = (
-                elapsed * gpu_fraction
-                + host_images / plan.throughput_images_per_s * 1e6
-            )
-
-        if record_stats:
-            self.stats.searches += n_queries
-            self.stats.images_compared += images * n_queries
-            self.stats.total_search_us += elapsed
-            for name, total in self.device.profiler.as_dict().items():
-                delta = total - profile_before.get(name, 0.0)
-                if delta:
-                    self.stats.step_times_us[name] = (
-                        self.stats.step_times_us.get(name, 0.0) + delta
+            if _TRACER.enabled
+            else nullcontext()
+        )
+        with sweep_cm as sweep_span:
+            start_us = self.device.synchronize()
+            per_query: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
+            images = 0
+            host_images = 0
+            source = self.cache.batches() if batches is None else batches
+            traced = _TRACER.enabled
+            for cached in source:
+                batch = cached.batch
+                resident = cached.location is not CacheLocation.HOST
+                if record_stats:
+                    (_SWEEP_HIT if resident else _SWEEP_MISS).inc()
+                batch_cm = (
+                    _TRACER.span(
+                        "cache.batch", layer="cache",
+                        batch_id=batch.batch_id, images=batch.size,
+                        location=cached.location.value,
                     )
+                    if traced
+                    else nullcontext()
+                )
+                with batch_cm:
+                    if not resident:
+                        # one H2D per reference batch per *sweep* — a query
+                        # group shares the transfer, it is not paid per query
+                        self.device.h2d(batch.nbytes, pinned=self.cache.pinned)
+                        _H2D_BYTES.inc(batch.nbytes)
+                        host_images += batch.size
+                    if query.matrix.ndim == 3:  # a prepared query *group*
+                        groups = self.kernel.match_batch_multi(self.device, batch, query, keep_masks)
+                    else:
+                        groups = [self.kernel.match_batch(self.device, batch, query, keep_masks)]
+                    # tombstone filtering: resolve the batch's dead slots once
+                    # (kernels emit one match per slot, in slot order), then
+                    # drop them from every query's list by index.
+                    alive: list[int] | None = None
+                    if self._dead_slots:
+                        alive = [
+                            i for i, slot_id in enumerate(batch.ids)
+                            if not slot_id.startswith(_DEAD_PREFIX)
+                        ]
+                        if len(alive) == batch.size:
+                            alive = None
+                    for q, matches in enumerate(groups):
+                        if alive is not None:
+                            matches = [matches[i] for i in alive]
+                        per_query[q].extend(matches)
+                    images += batch.size
+            elapsed = self.device.synchronize() - start_us
+
+            if cfg.streams > 1 and host_images:
+                # Replace the serial estimate for the host-resident part by
+                # the multi-stream overlap model (Sec. 6.2).  A query group
+                # widens the fused GEMM to ``n_queries * n`` columns while
+                # the per-batch H2D transfer stays the same, so the plan is
+                # computed at the group's fused width — the transfer is
+                # amortised across the group instead of charged per query.
+                plan = plan_streams(
+                    self.device.spec, self.device.cal, cfg.streams, cfg.batch_size,
+                    m=cfg.m, n=cfg.n * n_queries, d=cfg.d, precision=cfg.precision,
+                    tensor_core=cfg.tensor_core, pinned=self.cache.pinned,
+                    with_norms=self.kernel.needs_norms,
+                )
+                gpu_fraction = (images - host_images) / images if images else 0.0
+                elapsed = (
+                    elapsed * gpu_fraction
+                    + host_images / plan.throughput_images_per_s * 1e6
+                )
+
+            if record_stats:
+                self.stats.searches += n_queries
+                self.stats.images_compared += images * n_queries
+                self.stats.total_search_us += elapsed
+                _SWEEPS.inc()
+                _SWEEP_US.observe(elapsed)
+                for name, total in self.device.profiler.as_dict().items():
+                    delta = total - profile_before.get(name, 0.0)
+                    if delta:
+                        self.stats.step_times_us[name] = (
+                            self.stats.step_times_us.get(name, 0.0) + delta
+                        )
+                        _STEP_US.labels(step=name).observe(delta)
+            if sweep_span is not None:
+                sweep_span.set(sim_elapsed_us=elapsed, images=images)
         return _SweepOutcome(per_query_matches=per_query, images=images, elapsed_us=elapsed)
 
     # ------------------------------------------------------------------

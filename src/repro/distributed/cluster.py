@@ -27,6 +27,7 @@ from ..errors import (
     TransientNodeError,
 )
 from ..gpusim.device import DeviceSpec, TESLA_P100
+from ..obs import default_registry, default_tracer
 from .health import NodeHealth
 from .kvstore import KVStore
 from .node import NodeConfig, SearchNode
@@ -37,11 +38,41 @@ __all__ = [
     "ClusterSearchResult",
     "DistributedSearchSystem",
     "RetryPolicy",
+    "STATS_SCHEMA_VERSION",
 ]
 
 #: request routing + result aggregation overhead of the web tier per
 #: search (REST parsing, Redis metadata lookups, fan-out RPC).
 WEB_TIER_OVERHEAD_US = 2000.0
+
+#: version of the ``GET /stats`` payload shape; bump when keys change.
+STATS_SCHEMA_VERSION = 2
+
+_REG = default_registry()
+_TRACER = default_tracer()
+_SEARCHES = _REG.counter(
+    "repro_cluster_searches_total",
+    "Scatter-gather searches answered by the cluster",
+    ("kind",),
+)
+_RETRIES = _REG.counter(
+    "repro_cluster_retries_total",
+    "Extra node attempts spent after transient failures or timeouts",
+)
+_UNSEARCHED = _REG.counter(
+    "repro_cluster_unsearched_shards_total",
+    "Populated shards skipped after exhausting their retry budget",
+)
+_PARTIALS = _REG.counter(
+    "repro_cluster_partial_results_total",
+    "Searches answered with at least one shard missing",
+)
+_FAILOVERS = _REG.counter(
+    "repro_cluster_failovers_total",
+    "DOWN nodes decommissioned and re-hydrated onto survivors",
+)
+_SEARCH_SINGLE = _SEARCHES.labels(kind="single")
+_SEARCH_GROUP = _SEARCHES.labels(kind="group")
 
 
 @dataclass(frozen=True)
@@ -332,6 +363,16 @@ class DistributedSearchSystem:
     def _populated_nodes(self) -> list[SearchNode]:
         return [node for node in self.nodes if node.n_references > 0]
 
+    @staticmethod
+    def _record_gather(search_counter, retries: int, unsearched: list[str]) -> None:
+        """Fault-tolerance accounting for one completed scatter-gather."""
+        search_counter.inc()
+        if retries:
+            _RETRIES.inc(retries)
+        if unsearched:
+            _UNSEARCHED.inc(len(unsearched))
+            _PARTIALS.inc()
+
     def _check_degradation(self, populated: list[SearchNode], unsearched: list[str]) -> None:
         searched = len(populated) - len(unsearched)
         if populated and searched / len(populated) < self.min_shard_fraction:
@@ -349,28 +390,34 @@ class DistributedSearchSystem:
         ``DOWN`` during the gather are decommissioned afterwards and
         their shards re-hydrated from the KV store onto the survivors.
         """
-        per_node: dict[str, SearchResult] = {}
-        matches: list[ImageMatch] = []
-        slowest_us = 0.0
-        images = 0
-        retries = 0
-        unsearched: list[str] = []
-        populated = self._populated_nodes()
-        for node in populated:
-            result, node_us, node_retries = self._attempt_with_retry(
-                node, lambda n: (r := n.search(query_descriptors), r.elapsed_us)
-            )
-            slowest_us = max(slowest_us, node_us)
-            retries += node_retries
-            if result is None:
-                unsearched.append(node.node_id)
-                continue
-            per_node[node.node_id] = result
-            matches.extend(result.matches)
-            images += result.images_searched
-        if self.auto_failover:
-            self.repair()
-        self._check_degradation(populated, unsearched)
+        with _TRACER.span("cluster.search", layer="cluster") as span:
+            per_node: dict[str, SearchResult] = {}
+            matches: list[ImageMatch] = []
+            slowest_us = 0.0
+            images = 0
+            retries = 0
+            unsearched: list[str] = []
+            populated = self._populated_nodes()
+            for node in populated:
+                result, node_us, node_retries = self._attempt_with_retry(
+                    node, lambda n: (r := n.search(query_descriptors), r.elapsed_us)
+                )
+                slowest_us = max(slowest_us, node_us)
+                retries += node_retries
+                if result is None:
+                    unsearched.append(node.node_id)
+                    continue
+                per_node[node.node_id] = result
+                matches.extend(result.matches)
+                images += result.images_searched
+            if self.auto_failover:
+                self.repair()
+            self._record_gather(_SEARCH_SINGLE, retries, unsearched)
+            if span is not None:
+                span.set(nodes=len(populated), retries=retries,
+                         unsearched=len(unsearched),
+                         sim_elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US)
+            self._check_degradation(populated, unsearched)
         return ClusterSearchResult(
             matches=matches,
             per_node=per_node,
@@ -398,33 +445,41 @@ class DistributedSearchSystem:
         if not query_descriptor_list:
             return ClusterGroupResult()
         n_queries = len(query_descriptor_list)
-        per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
-        per_node_all: list[dict[str, SearchResult]] = [dict() for _ in range(n_queries)]
-        per_query_images = [0] * n_queries
-        slowest_us = 0.0
-        retries = 0
-        unsearched: list[str] = []
-        populated = self._populated_nodes()
-        for node in populated:
-            grouped, node_us, node_retries = self._attempt_with_retry(
-                node,
-                lambda n: (
-                    g := n.search_many(query_descriptor_list),
-                    max(r.elapsed_us for r in g),
-                ),
-            )
-            slowest_us = max(slowest_us, node_us)
-            retries += node_retries
-            if grouped is None:
-                unsearched.append(node.node_id)
-                continue
-            for q, result in enumerate(grouped):
-                per_query_matches[q].extend(result.matches)
-                per_node_all[q][node.node_id] = result
-                per_query_images[q] += result.images_searched
-        if self.auto_failover:
-            self.repair()
-        self._check_degradation(populated, unsearched)
+        with _TRACER.span(
+            "cluster.search_group", layer="cluster", queries=n_queries,
+        ) as span:
+            per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
+            per_node_all: list[dict[str, SearchResult]] = [dict() for _ in range(n_queries)]
+            per_query_images = [0] * n_queries
+            slowest_us = 0.0
+            retries = 0
+            unsearched: list[str] = []
+            populated = self._populated_nodes()
+            for node in populated:
+                grouped, node_us, node_retries = self._attempt_with_retry(
+                    node,
+                    lambda n: (
+                        g := n.search_many(query_descriptor_list),
+                        max(r.elapsed_us for r in g),
+                    ),
+                )
+                slowest_us = max(slowest_us, node_us)
+                retries += node_retries
+                if grouped is None:
+                    unsearched.append(node.node_id)
+                    continue
+                for q, result in enumerate(grouped):
+                    per_query_matches[q].extend(result.matches)
+                    per_node_all[q][node.node_id] = result
+                    per_query_images[q] += result.images_searched
+            if self.auto_failover:
+                self.repair()
+            self._record_gather(_SEARCH_GROUP, retries, unsearched)
+            if span is not None:
+                span.set(nodes=len(populated), retries=retries,
+                         unsearched=len(unsearched),
+                         sim_elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US)
+            self._check_degradation(populated, unsearched)
         elapsed = slowest_us + WEB_TIER_OVERHEAD_US
         return ClusterGroupResult(
             results=[
@@ -491,6 +546,7 @@ class DistributedSearchSystem:
                 break
             self.remove_node(node.node_id)
             repaired.append(node.node_id)
+            _FAILOVERS.inc()
         return repaired
 
     # ------------------------------------------------------------------
@@ -510,9 +566,45 @@ class DistributedSearchSystem:
         return total
 
     def stats(self) -> dict:
+        """Operational rollup for ``GET /stats``.
+
+        ``schema_version`` is bumped whenever the payload shape
+        changes so dashboards can gate on it.  The ``cache`` and
+        ``fault_tolerance`` sections read the process-wide metrics
+        registry (they aggregate over every engine in the process —
+        one cluster per process in any real deployment).
+        """
         return {
+            "schema_version": STATS_SCHEMA_VERSION,
             "nodes": [node.stats() for node in self.nodes],
             "references": self.n_references,
             "capacity_images": self.capacity_images(),
             "kv_keys": self.store.dbsize(),
+            "cache": {
+                "adds_total": _REG.value("repro_cache_adds_total"),
+                "demotions_total": _REG.value("repro_cache_demotions_total"),
+                "evictions_total": _REG.value("repro_cache_evictions_total"),
+                "sweep_hits_total": _REG.value(
+                    "repro_cache_sweep_lookups_total", result="hit"
+                ),
+                "sweep_misses_total": _REG.value(
+                    "repro_cache_sweep_lookups_total", result="miss"
+                ),
+            },
+            "fault_tolerance": {
+                "searches_single_total": _REG.value(
+                    "repro_cluster_searches_total", kind="single"
+                ),
+                "searches_group_total": _REG.value(
+                    "repro_cluster_searches_total", kind="group"
+                ),
+                "retries_total": _REG.value("repro_cluster_retries_total"),
+                "unsearched_shards_total": _REG.value(
+                    "repro_cluster_unsearched_shards_total"
+                ),
+                "partial_results_total": _REG.value(
+                    "repro_cluster_partial_results_total"
+                ),
+                "failovers_total": _REG.value("repro_cluster_failovers_total"),
+            },
         }

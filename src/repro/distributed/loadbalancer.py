@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..obs import default_registry, default_tracer
 from .cluster import DistributedSearchSystem, WEB_TIER_OVERHEAD_US
 from .rest import Request, Response, Router, build_api
 
@@ -19,6 +20,13 @@ __all__ = ["DispatchRecord", "WebTier"]
 
 #: request parsing/serialisation cost charged per request on its worker.
 REQUEST_HANDLING_US = 500.0
+
+_TRACER = default_tracer()
+_WEB_REQUESTS = default_registry().counter(
+    "repro_web_requests_total",
+    "Requests dispatched through the web tier, by route root and status",
+    ("route", "status"),
+)
 
 
 @dataclass
@@ -76,7 +84,17 @@ class WebTier:
         handling cost plus (for searches) the cluster's simulated time."""
         worker = self._pick_worker()
         started = self.worker_clock_us[worker]
-        response = self.routers[worker].handle(request)
+        with _TRACER.span(
+            "web.request", layer="web",
+            method=request.method, path=request.path, worker=worker,
+        ) as span:
+            response = self.routers[worker].handle(request)
+            if span is not None:
+                span.set(status=response.status)
+        # route label uses only the first path segment — ids would
+        # explode the label cardinality
+        root = request.path.split("/", 2)[1] if "/" in request.path else request.path
+        _WEB_REQUESTS.labels(route=root, status=response.status).inc()
         cost = REQUEST_HANDLING_US
         if request.path in ("/search", "/search/batch") and response.ok:
             # the cluster already accounts the web overhead once;

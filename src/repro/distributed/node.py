@@ -18,11 +18,14 @@ from ..core.results import SearchResult
 from ..errors import NodeDownError, TransientNodeError
 from ..gpusim.device import DeviceSpec, TESLA_P100
 from ..gpusim.engine_model import GPUDevice
+from ..obs import default_tracer
 from .health import HealthPolicy, HealthTracker, NodeHealth
 from .kvstore import KVStore
 from .serialization import FeatureRecord, deserialize_record
 
 __all__ = ["NodeConfig", "SearchNode"]
+
+_TRACER = default_tracer()
 
 GIB = 1024**3
 
@@ -110,22 +113,32 @@ class SearchNode:
         return self.engine.has_reference(ref_id)
 
     def search(self, query_descriptors: np.ndarray) -> SearchResult:
-        multiplier = self._gate()
-        result = self.engine.search(query_descriptors)
-        if multiplier != 1.0:
-            result.elapsed_us *= multiplier
-        self.health.record_success()
+        with _TRACER.span("node.search", layer="node", node=self.node_id) as span:
+            multiplier = self._gate()
+            result = self.engine.search(query_descriptors)
+            if multiplier != 1.0:
+                result.elapsed_us *= multiplier
+            self.health.record_success()
+            if span is not None:
+                span.set(sim_elapsed_us=result.elapsed_us,
+                         images=result.images_searched)
         return result
 
     def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
         """Query-batched search with the same fault/health gating as
         :meth:`search` (one gate per group — the group is one RPC)."""
-        multiplier = self._gate()
-        results = self.engine.search_many(query_descriptor_list)
-        if multiplier != 1.0:
-            for result in results:
-                result.elapsed_us *= multiplier
-        self.health.record_success()
+        with _TRACER.span(
+            "node.search_group", layer="node",
+            node=self.node_id, queries=len(query_descriptor_list),
+        ) as span:
+            multiplier = self._gate()
+            results = self.engine.search_many(query_descriptor_list)
+            if multiplier != 1.0:
+                for result in results:
+                    result.elapsed_us *= multiplier
+            self.health.record_success()
+            if span is not None and results:
+                span.set(sim_elapsed_us=max(r.elapsed_us for r in results))
         return results
 
     def heartbeat(self) -> dict:

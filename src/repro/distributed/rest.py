@@ -13,6 +13,7 @@ Routes::
     POST   /search/batch        {"queries": [[[...], ...], ...], "top": k}
     GET    /stats
     GET    /health
+    GET    /metrics
 
 Descriptor payloads are ``(d, count)`` nested lists (what a JSON body
 would carry).  No sockets are involved — the web tier of the paper's
@@ -238,6 +239,19 @@ def build_api(system: DistributedSearchSystem) -> Router:
     @router.route("GET", "/stats")
     def stats(request: Request) -> Response:
         return Response(200, system.stats())
+
+    @router.route("GET", "/metrics")
+    def metrics(request: Request) -> Response:
+        """Prometheus text exposition of the process-wide registry."""
+        from ..obs import default_registry
+
+        return Response(
+            200,
+            {
+                "content_type": "text/plain; version=0.0.4",
+                "text": default_registry().to_prometheus(),
+            },
+        )
 
     @router.route("GET", "/health")
     def health(request: Request) -> Response:

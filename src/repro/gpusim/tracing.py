@@ -11,6 +11,7 @@ nvprof output, reproduced for the simulator.
 from __future__ import annotations
 
 import json
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 
 from .engine_model import GPUDevice
@@ -71,13 +72,41 @@ class TimelineTracer:
         self._original_submit = original
 
     def detach(self) -> None:
-        """Restore the device's original ``submit``."""
+        """Restore the device's original ``submit``.
+
+        When ``attach`` wrapped the plain class method (the common
+        case), the shadowing instance attribute is *deleted* rather
+        than re-assigned: assigning the captured bound method back
+        would leave a permanent instance attribute pinning this
+        tracer's closure chain alive, and a later ``attach`` would
+        capture that stale binding — detach/attach cycles must leave
+        the device exactly as constructed.
+        """
         device = getattr(self, "_device", None)
         if device is None:
             return
-        device.submit = self._original_submit  # type: ignore[method-assign]
+        original = self._original_submit
+        if original == type(device).submit.__get__(device):
+            # we shadowed the class method: remove the shadow entirely
+            device.__dict__.pop("submit", None)
+        else:
+            # someone else's instance-level submit was wrapped (e.g. a
+            # stacked instrumentation layer): restore that binding
+            device.submit = original  # type: ignore[method-assign]
         device._tracer = None  # type: ignore[attr-defined]
         self._device = None
+        self._original_submit = None
+
+    @contextmanager
+    def attached(self, device: GPUDevice):
+        """Scope-bound attachment: ``with tracer.attached(device):``
+        records submissions inside the block and always detaches on
+        exit, even when the block raises.  Yields the tracer."""
+        self.attach(device)
+        try:
+            yield self
+        finally:
+            self.detach()
 
     # ------------------------------------------------------------------
     # analysis

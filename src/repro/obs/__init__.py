@@ -1,0 +1,57 @@
+"""Unified observability: labeled metrics + request-scoped tracing.
+
+Two process-wide singletons tie the system's telemetry together:
+
+* :func:`default_registry` — the :class:`MetricsRegistry` every layer
+  (cache, engine, node, cluster, web tier, serving loop) writes its
+  :class:`Counter`/:class:`Gauge`/:class:`Histogram` series to.
+  Exposed as a JSON snapshot and as Prometheus text via the REST
+  route ``GET /metrics``.
+* :func:`default_tracer` — the :class:`RequestTracer` that follows one
+  request from ingress down to the engine's cache sweep.  Off by
+  default; enable it (``default_tracer().enable()`` or
+  ``python -m repro.bench.run ... --trace out.json``) and every search
+  exports as Perfetto/Chrome JSON, optionally merged with a
+  :class:`~repro.gpusim.tracing.TimelineTracer`'s simulated device
+  lanes (:func:`to_perfetto`).
+
+See ``docs/observability.md`` for the metric catalogue, label
+conventions and how to open traces in Perfetto.
+"""
+
+from .metrics import (
+    DEFAULT_US_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_registry,
+    set_default_registry,
+)
+from .tracing import RequestTracer, Span, default_tracer, to_perfetto
+
+__all__ = [
+    "Counter",
+    "DEFAULT_US_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "RequestTracer",
+    "Span",
+    "default_registry",
+    "default_tracer",
+    "reset_observability",
+    "set_default_registry",
+    "to_perfetto",
+]
+
+
+def reset_observability() -> None:
+    """Zero every metric series and drop all collected spans (the
+    tracer's enabled/disabled state is reset to disabled).  Test
+    isolation helper — wired as an autouse fixture in the test suite."""
+    default_registry().reset()
+    default_registry().enable()
+    tracer = default_tracer()
+    tracer.reset()
+    tracer.disable()

@@ -38,7 +38,7 @@ from .executors import (
     SerialEngineExecutor,
     WebTierBatchExecutor,
 )
-from .metrics import ServingReport, percentile
+from .metrics import ServingMeters, ServingReport, percentile
 from .workload import burst_arrivals, poisson_arrivals
 
 __all__ = [
@@ -50,6 +50,7 @@ __all__ = [
     "GroupRecord",
     "RequestRecord",
     "SerialEngineExecutor",
+    "ServingMeters",
     "ServingReport",
     "ServingRequest",
     "WebTierBatchExecutor",

@@ -22,7 +22,35 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from .metrics import ServingReport
+from ..obs import default_registry, default_tracer
+from .metrics import GROUP_SIZE_BUCKETS, ServingMeters, ServingReport
+
+_REG = default_registry()
+_TRACER = default_tracer()
+_SERVING_REQUESTS = _REG.counter(
+    "repro_serving_requests_total",
+    "Requests admitted by the serving batcher",
+)
+_SERVING_GROUPS = _REG.counter(
+    "repro_serving_groups_total",
+    "Fused groups launched, by admission trigger",
+    ("trigger",),
+)
+_QUEUE_DEPTH = _REG.gauge(
+    "repro_serving_queue_depth",
+    "Requests pending in the admission queue right now",
+)
+_GROUP_SIZE = _REG.histogram(
+    "repro_serving_group_size",
+    "Requests fused per launched group",
+    buckets=GROUP_SIZE_BUCKETS,
+)
+_QUEUE_WAIT_US = _REG.histogram(
+    "repro_serving_queue_wait_us",
+    "Simulated time requests waited for admission",
+)
+_GROUP_SIZE_TRIGGER = _SERVING_GROUPS.labels(trigger="size")
+_GROUP_TIMEOUT_TRIGGER = _SERVING_GROUPS.labels(trigger="timeout")
 
 __all__ = [
     "BatchPolicy",
@@ -176,6 +204,7 @@ def simulate_serving(
     batcher = DynamicBatcher(policy)
     records: list[RequestRecord] = []
     groups: list[GroupRecord] = []
+    meters = ServingMeters()
 
     i = 0
     n = len(requests)
@@ -186,7 +215,11 @@ def simulate_serving(
             t = max(t, requests[i].arrival_us)
         while i < n and requests[i].arrival_us <= t:
             batcher.enqueue(requests[i])
+            _SERVING_REQUESTS.inc()
             i += 1
+        depth = len(batcher)
+        _QUEUE_DEPTH.set(depth)
+        meters.observe_queue_depth(depth)
         if t < free_at:
             # device busy: late arrivals admitted above join the next
             # group once the running sweep completes.
@@ -203,13 +236,23 @@ def simulate_serving(
                 t = deadline
             continue
         group = batcher.take()
-        payloads, elapsed_us = executor.execute([r.query for r in group])
+        _QUEUE_DEPTH.set(len(batcher))
+        with _TRACER.span(
+            "serving.group", layer="serving",
+            size=len(group), trigger=trig,
+        ) as span:
+            payloads, elapsed_us = executor.execute([r.query for r in group])
+            if span is not None:
+                span.set(sim_elapsed_us=float(elapsed_us))
         if len(payloads) != len(group):
             raise RuntimeError(
                 f"executor returned {len(payloads)} payloads for a "
                 f"group of {len(group)}"
             )
         completed = t + float(elapsed_us)
+        (_GROUP_SIZE_TRIGGER if trig == "size" else _GROUP_TIMEOUT_TRIGGER).inc()
+        _GROUP_SIZE.observe(float(len(group)))
+        meters.observe_group(len(group))
         group_id = len(groups)
         groups.append(
             GroupRecord(
@@ -221,6 +264,7 @@ def simulate_serving(
             )
         )
         for request, payload in zip(group, payloads):
+            _QUEUE_WAIT_US.observe(t - request.arrival_us)
             records.append(
                 RequestRecord(
                     request_id=request.request_id,
@@ -235,4 +279,4 @@ def simulate_serving(
         free_at = completed
 
     records.sort(key=lambda r: r.request_id)
-    return ServingReport(policy=policy, records=records, groups=groups)
+    return ServingReport(policy=policy, records=records, groups=groups, meters=meters)

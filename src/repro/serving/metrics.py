@@ -13,10 +13,45 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Sequence
 
+from ..obs.metrics import Histogram
+
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
     from .batcher import BatchPolicy, GroupRecord, RequestRecord
 
-__all__ = ["ServingReport", "percentile"]
+__all__ = ["ServingMeters", "ServingReport", "percentile"]
+
+#: group sizes are bounded by the policy's max_batch (<= 64 at REST).
+GROUP_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
+
+
+def make_group_size_histogram() -> Histogram:
+    """A standalone (unregistered) per-run group-size histogram."""
+    return Histogram(
+        "serving_group_size", "requests fused per group",
+        buckets=GROUP_SIZE_BUCKETS,
+    )
+
+
+@dataclass
+class ServingMeters:
+    """Per-run instrumentation captured live by the serving event loop.
+
+    The loop observes each launched group's size into ``group_size``
+    and tracks the admission queue's high-water mark — the report
+    layer *consumes* these instead of re-deriving them from the record
+    lists after the fact (the process-wide registry gets the same
+    observations, but aggregated across runs).
+    """
+
+    group_size: Histogram = field(default_factory=make_group_size_histogram)
+    peak_queue_depth: int = 0
+
+    def observe_group(self, size: int) -> None:
+        self.group_size.observe(float(size))
+
+    def observe_queue_depth(self, depth: int) -> None:
+        if depth > self.peak_queue_depth:
+            self.peak_queue_depth = depth
 
 
 def percentile(values: Sequence[float], p: float) -> float:
@@ -47,6 +82,10 @@ class ServingReport:
     policy: BatchPolicy
     records: list[RequestRecord] = field(default_factory=list)
     groups: list[GroupRecord] = field(default_factory=list)
+    #: live meters from the event loop; when present, group-occupancy
+    #: figures are read from them instead of recomputed from ``groups``
+    #: (equivalent by construction — the loop observes every launch).
+    meters: ServingMeters | None = None
 
     @property
     def n_requests(self) -> int:
@@ -86,9 +125,17 @@ class ServingReport:
 
     @property
     def mean_group_size(self) -> float:
+        if self.meters is not None:
+            hist = self.meters.group_size
+            return hist.sum / hist.count if hist.count else 0.0
         if not self.groups:
             return 0.0
         return sum(g.size for g in self.groups) / len(self.groups)
+
+    @property
+    def peak_queue_depth(self) -> int:
+        """Admission-queue high-water mark (0 without live meters)."""
+        return self.meters.peak_queue_depth if self.meters is not None else 0
 
     @property
     def fused_occupancy(self) -> float:
@@ -141,6 +188,7 @@ class ServingReport:
             },
             "mean_group_size": round(self.mean_group_size, 3),
             "fused_occupancy": round(self.fused_occupancy, 3),
+            "peak_queue_depth": self.peak_queue_depth,
             "triggers": {
                 k: self.trigger_counts[k] for k in sorted(self.trigger_counts)
             },

@@ -6,6 +6,17 @@ import numpy as np
 import pytest
 
 from repro.gpusim import GPUDevice, KernelCalibration, TESLA_P100, TESLA_V100
+from repro.obs import reset_observability
+
+
+@pytest.fixture(autouse=True)
+def _fresh_observability():
+    """Zero the process-wide metrics registry and tracer around every
+    test: counters are module-global, so tests must not see each
+    other's increments."""
+    reset_observability()
+    yield
+    reset_observability()
 
 
 def make_descriptors(count: int, seed: int = 0, d: int = 128) -> np.ndarray:

@@ -181,6 +181,40 @@ class TestWebTier:
         with pytest.raises(ValueError):
             WebTier(system, policy="random")
 
+    def test_stats_schema_and_observability_counters(self):
+        """``GET /stats`` carries a schema version plus the cache and
+        fault-tolerance counter blocks fed by the metrics registry."""
+        from repro.distributed.cluster import STATS_SCHEMA_VERSION
+
+        tier, descs = self._tier(workers=1)
+        # enough extra references that each node seals a full cache
+        # batch (batch_size=3), so the cache-add counter moves
+        for i in range(4, 10):
+            record = tier.handle(
+                Request("POST", "/textures",
+                        {"id": f"r{i}",
+                         "descriptors": make_descriptors(32, seed=1700 + i).tolist()})
+            )
+            assert record.response.status == 201
+        query = noisy_copy(descs[0], 8.0, seed=174).tolist()
+        assert tier.handle(
+            Request("POST", "/search", {"descriptors": query})
+        ).response.ok
+        stats = tier.handle(Request("GET", "/stats")).response
+        assert stats.ok
+        body = stats.body
+        assert body["schema_version"] == STATS_SCHEMA_VERSION == 2
+        assert body["references"] == 10
+        cache = body["cache"]
+        assert cache["adds_total"] > 0  # sealed batches entered the cache
+        assert cache["sweep_hits_total"] + cache["sweep_misses_total"] > 0
+        ft = body["fault_tolerance"]
+        assert ft["searches_single_total"] == 1
+        assert ft["searches_group_total"] == 0
+        assert ft["retries_total"] == 0
+        assert ft["partial_results_total"] == 0
+        assert ft["failovers_total"] == 0
+
     def test_latency_is_delta_not_absolute_clock(self):
         """Regression: ``DispatchRecord.latency_us`` must be the
         completion−start delta.  It used to return the absolute

@@ -45,6 +45,53 @@ class TestCapture:
         with pytest.raises(ValueError):
             TimelineTracer().attach(device)
 
+    def test_detach_removes_monkeypatched_submit(self, traced):
+        device, tracer = traced
+        tracer.detach()
+        # the wrapper must be gone entirely, not replaced by a pinned
+        # bound method shadowing the class implementation
+        assert "submit" not in device.__dict__
+
+    def test_attach_detach_attach_cycle(self, traced):
+        device, tracer = traced
+        device.submit("compute", 1.0)
+        tracer.detach()
+        device.submit("compute", 1.0)  # untraced
+        tracer.attach(device)
+        device.submit("compute", 1.0)
+        assert len(tracer.events) == 2
+        # a *different* tracer can also take over after detach
+        tracer.detach()
+        other = TimelineTracer()
+        other.attach(device)
+        device.submit("compute", 1.0)
+        other.detach()
+        assert len(other.events) == 1
+
+    def test_detach_without_attach_is_noop(self):
+        TimelineTracer().detach()  # must not raise
+
+    def test_attached_context_manager(self):
+        device = GPUDevice(TESLA_P100)
+        tracer = TimelineTracer()
+        with tracer.attached(device) as t:
+            assert t is tracer
+            device.submit("compute", 2.0)
+        device.submit("compute", 2.0)  # outside the block: untraced
+        assert len(tracer.events) == 1
+        assert "submit" not in device.__dict__
+
+    def test_attached_detaches_on_exception(self):
+        device = GPUDevice(TESLA_P100)
+        tracer = TimelineTracer()
+        with pytest.raises(RuntimeError):
+            with tracer.attached(device):
+                raise RuntimeError("boom")
+        assert "submit" not in device.__dict__
+        with tracer.attached(device):  # re-attach works
+            device.submit("compute", 1.0)
+        assert len(tracer.events) == 1
+
     def test_attach_idempotent(self, traced):
         device, tracer = traced
         tracer.attach(device)  # no-op
