@@ -11,6 +11,7 @@ from . import (
     fig1_waterfall,
     fig4_batching,
     observability,
+    overload_bench,
     sec8_distributed,
     serving_bench,
     table1_cublas,
@@ -34,6 +35,7 @@ ALL_EXPERIMENTS = {
     "table7": table7_asymmetric,
     "sec8": sec8_distributed,
     "serving": serving_bench,
+    "overload": overload_bench,
     "fault-tolerance": fault_tolerance,
     "observability": observability,
     "backends": backend_bench,
@@ -56,6 +58,7 @@ __all__ = [
     "fig1_waterfall",
     "fig4_batching",
     "observability",
+    "overload_bench",
     "sec8_distributed",
     "serving_bench",
     "table1_cublas",

@@ -35,7 +35,7 @@ import numpy as np
 from ..cache.hybrid import CachedBatch, CacheLocation, HybridFeatureCache
 from ..gpusim.device import TESLA_P100
 from ..gpusim.engine_model import GPUDevice
-from ..obs import default_registry, default_tracer
+from ..obs import current_deadline, default_registry, default_tracer
 from ..pipeline.scheduler import plan_streams
 from .batching import BatchBuilder, ReferenceBatch
 from .config import EngineConfig
@@ -69,6 +69,10 @@ _SWEEP_LOOKUPS = _REG.counter(
     "Reference-batch touches during sweeps, by cache residency",
     ("result",),
 )
+_DEADLINE_SWEEPS = _REG.counter(
+    "repro_engine_deadline_expired_total",
+    "Cache sweeps cut short by an expired request deadline",
+)
 #: pre-bound children — the sweep loop must not pay label resolution.
 _SWEEP_HIT = _SWEEP_LOOKUPS.labels(result="hit")
 _SWEEP_MISS = _SWEEP_LOOKUPS.labels(result="miss")
@@ -97,11 +101,21 @@ class EngineStats:
 
 @dataclass
 class _SweepOutcome:
-    """What one cache sweep produced: per-query matches + accounting."""
+    """What one cache sweep produced: per-query matches + accounting.
+
+    ``images_skipped`` counts cached images the sweep never reached
+    because the request's deadline expired mid-sweep; ``partial`` is
+    True whenever that count is non-zero.
+    """
 
     per_query_matches: list[list[ImageMatch]]
     images: int
     elapsed_us: float
+    images_skipped: int = 0
+
+    @property
+    def partial(self) -> bool:
+        return self.images_skipped > 0
 
 
 class TextureSearchEngine:
@@ -339,6 +353,7 @@ class TextureSearchEngine:
         keep_masks: bool = False,
         batches: Iterable[CachedBatch] | None = None,
         record_stats: bool = True,
+        honor_deadline: bool = True,
     ) -> _SweepOutcome:
         """The one batch loop every match path runs on.
 
@@ -348,8 +363,16 @@ class TextureSearchEngine:
         ``batches`` overrides the cache iteration (``verify`` passes a
         transient single-image batch); ``record_stats`` is off for
         sweeps that are not searches.
+
+        When a request deadline (:func:`repro.obs.current_deadline`) is
+        active, the loop charges the budget with each batch's simulated
+        time and stops sweeping once it expires: remaining batches are
+        counted into ``images_skipped`` instead of compared, and the
+        outcome comes back ``partial``.  The batches that *were* swept
+        produce bit-identical matches to a full sweep's prefix.
         """
         cfg = self.config
+        deadline = current_deadline() if honor_deadline else None
         profile_before = self.device.profiler.as_dict() if record_stats else {}
         sweep_cm = (
             _TRACER.span(
@@ -364,9 +387,16 @@ class TextureSearchEngine:
             per_query: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
             images = 0
             host_images = 0
+            images_skipped = 0
+            charged_at_us = start_us
             source = self.cache.batches() if batches is None else batches
             traced = _TRACER.enabled
             for cached in source:
+                if deadline is not None and deadline.expired:
+                    # an expired deadline stops the sweep: remaining
+                    # batches are never staged or compared.
+                    images_skipped += cached.batch.size
+                    continue
                 batch = cached.batch
                 resident = cached.location is not CacheLocation.HOST
                 if record_stats:
@@ -407,6 +437,12 @@ class TextureSearchEngine:
                             matches = [matches[i] for i in alive]
                         per_query[q].extend(matches)
                     images += batch.size
+                if deadline is not None:
+                    # charge per batch (non-mutating clock read) so the
+                    # expiry check above sees this batch's cost.
+                    now_us = self.device.elapsed_us()
+                    deadline.charge(now_us - charged_at_us)
+                    charged_at_us = now_us
             elapsed = self.device.synchronize() - start_us
 
             if cfg.streams > 1 and host_images:
@@ -441,9 +477,17 @@ class TextureSearchEngine:
                             self.stats.step_times_us.get(name, 0.0) + delta
                         )
                         _STEP_US.labels(step=name).observe(delta)
+            if images_skipped:
+                _DEADLINE_SWEEPS.inc()
             if sweep_span is not None:
-                sweep_span.set(sim_elapsed_us=elapsed, images=images)
-        return _SweepOutcome(per_query_matches=per_query, images=images, elapsed_us=elapsed)
+                sweep_span.set(sim_elapsed_us=elapsed, images=images,
+                               images_skipped=images_skipped)
+        return _SweepOutcome(
+            per_query_matches=per_query,
+            images=images,
+            elapsed_us=elapsed,
+            images_skipped=images_skipped,
+        )
 
     # ------------------------------------------------------------------
     # search
@@ -457,6 +501,8 @@ class TextureSearchEngine:
             matches=outcome.per_query_matches[0],
             elapsed_us=outcome.elapsed_us,
             images_searched=outcome.images,
+            partial=outcome.partial,
+            images_skipped=outcome.images_skipped,
         )
 
     def search_group(
@@ -494,11 +540,15 @@ class TextureSearchEngine:
                     matches=outcome.per_query_matches[q],
                     elapsed_us=outcome.elapsed_us,
                     images_searched=outcome.images,
+                    partial=outcome.partial,
+                    images_skipped=outcome.images_skipped,
                 )
                 for q in range(n_queries)
             ],
             elapsed_us=outcome.elapsed_us,
             images_searched=outcome.images,
+            partial=outcome.partial,
+            images_skipped=outcome.images_skipped,
         )
 
     def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
@@ -529,6 +579,7 @@ class TextureSearchEngine:
             n_queries=1,
             batches=[CachedBatch(batch=transient, location=CacheLocation.GPU)],
             record_stats=False,
+            honor_deadline=False,  # a 1:1 verification is never sheddable
         )
         match = outcome.per_query_matches[0][0]
         return match.good_matches >= cfg.min_matches, match.good_matches

@@ -56,11 +56,20 @@ class ImageMatch:
 
 @dataclass
 class SearchResult:
-    """Outcome of a one-to-many search."""
+    """Outcome of a one-to-many search.
+
+    ``partial`` is True when the sweep was cut short by an expired
+    request deadline (:mod:`repro.obs.reqctx`): the reference batches
+    it *did* scan produced exactly the matches a full sweep would have
+    (same order, same counts), and ``images_skipped`` counts the cached
+    images the sweep never reached.
+    """
 
     matches: list[ImageMatch] = field(default_factory=list)
     elapsed_us: float = 0.0
     images_searched: int = 0
+    partial: bool = False
+    images_skipped: int = 0
 
     def top(self, count: int = 1) -> list[ImageMatch]:
         """Best ``count`` reference images by score (descending)."""
@@ -92,6 +101,8 @@ class GroupSearchResult:
     results: list[SearchResult] = field(default_factory=list)
     elapsed_us: float = 0.0
     images_searched: int = 0
+    partial: bool = False
+    images_skipped: int = 0
 
     @property
     def group_size(self) -> int:

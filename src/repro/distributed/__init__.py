@@ -2,8 +2,11 @@
 serialization, a Redis-like KV store, GPU container nodes, the sharded
 scatter-gather cluster, the RESTful API layer, and the fault-tolerance
 layer (health states, deterministic fault injection, retries and
-partial-result degradation)."""
+partial-result degradation), plus the overload-protection layer
+(admission control, circuit breakers, brownout)."""
 
+from .admission import AdmissionPolicy, TokenBucket
+from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
 from .cluster import (
     ClusterGroupResult,
     ClusterSearchResult,
@@ -27,8 +30,13 @@ from .serialization import (
 )
 
 __all__ = [
+    "AdmissionPolicy",
+    "BreakerPolicy",
+    "BreakerState",
+    "CircuitBreaker",
     "ClusterGroupResult",
     "ClusterSearchResult",
+    "TokenBucket",
     "ConsistentHashPlacement",
     "DispatchRecord",
     "FaultInjector",

@@ -1,0 +1,105 @@
+"""Web-tier admission control: token-bucket rate limiting + brownout.
+
+The serving tier's bounded queue (:mod:`repro.serving.batcher`)
+protects the *batcher*; this module protects the *web tier* itself.
+Under offered load beyond cluster capacity an unprotected front end
+exhibits the classic metastable collapse — queues grow without bound,
+every request waits behind all of them, and goodput (requests that
+complete within their deadline) falls toward zero even though the
+GPUs are saturated doing work nobody will use.  The token bucket caps
+the *admitted* rate at (roughly) capacity, and the brownout band
+degrades gracefully before rejecting: when tokens run low the tier
+serves searches over a reduced shard fraction
+(:func:`repro.obs.brownout_scope` → partial results) instead of
+turning requests away outright.
+
+Everything runs on simulated time — the bucket refills from the
+caller-supplied ``now_us``, never a wall clock — so admission
+decisions replay deterministically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["AdmissionPolicy", "TokenBucket"]
+
+
+@dataclass(frozen=True)
+class AdmissionPolicy:
+    """Knobs for the web tier's admission layer.
+
+    ``rate_per_s`` is the sustained admitted-search rate (0 disables
+    rate limiting entirely); ``burst`` the bucket depth.  When the
+    bucket's fill fraction drops below ``brownout_tokens`` the tier
+    enters brownout and serves searches over
+    ``brownout_shard_fraction`` of the populated shards (floored by
+    the cluster's ``min_shard_fraction``) instead of rejecting.
+    """
+
+    rate_per_s: float = 0.0
+    burst: int = 16
+    brownout_tokens: float = 0.25
+    brownout_shard_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s < 0:
+            raise ValueError(f"rate_per_s must be >= 0, got {self.rate_per_s}")
+        if self.burst < 1:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        if not 0.0 <= self.brownout_tokens <= 1.0:
+            raise ValueError(
+                f"brownout_tokens must be in [0, 1], got {self.brownout_tokens}"
+            )
+        if not 0.0 < self.brownout_shard_fraction <= 1.0:
+            raise ValueError(
+                "brownout_shard_fraction must be in (0, 1], "
+                f"got {self.brownout_shard_fraction}"
+            )
+
+
+class TokenBucket:
+    """Deterministic token bucket on the simulated clock.
+
+    Starts full.  ``try_take`` refills by ``rate_per_s`` against the
+    supplied ``now_us`` before drawing; simulated time never runs
+    backwards here even if callers hand in out-of-order clocks (the
+    web tier's per-worker clocks are only loosely ordered).
+    """
+
+    def __init__(self, rate_per_s: float, burst: int) -> None:
+        if rate_per_s <= 0:
+            raise ValueError(f"rate_per_s must be > 0, got {rate_per_s}")
+        if burst < 1:
+            raise ValueError(f"burst must be >= 1, got {burst}")
+        self.rate_per_s = float(rate_per_s)
+        self.burst = int(burst)
+        self._tokens = float(burst)
+        self._refilled_at_us = 0.0
+
+    def _refill(self, now_us: float) -> None:
+        if now_us > self._refilled_at_us:
+            elapsed_s = (now_us - self._refilled_at_us) * 1e-6
+            self._tokens = min(self.burst, self._tokens + elapsed_s * self.rate_per_s)
+            self._refilled_at_us = now_us
+
+    def try_take(self, now_us: float) -> bool:
+        """Admit one request at simulated time ``now_us``?"""
+        self._refill(now_us)
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_us(self, now_us: float) -> float:
+        """Simulated wait until one whole token will be available."""
+        self._refill(now_us)
+        deficit = 1.0 - self._tokens
+        if deficit <= 0:
+            return 0.0
+        return deficit / self.rate_per_s * 1e6
+
+    @property
+    def fraction(self) -> float:
+        """Current fill fraction of the bucket in [0, 1]."""
+        return self._tokens / self.burst

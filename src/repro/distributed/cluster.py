@@ -14,6 +14,8 @@ behind the paper's 872,984 img/s on 14 P100s.
 
 from __future__ import annotations
 
+import hashlib
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -27,7 +29,14 @@ from ..errors import (
     TransientNodeError,
 )
 from ..gpusim.device import DeviceSpec, TESLA_P100
-from ..obs import default_registry, default_tracer
+from ..obs import (
+    DeadlineFanOut,
+    current_brownout,
+    current_deadline,
+    default_registry,
+    default_tracer,
+)
+from .breaker import BreakerPolicy
 from .health import NodeHealth
 from .kvstore import KVStore
 from .node import NodeConfig, SearchNode
@@ -46,7 +55,7 @@ __all__ = [
 WEB_TIER_OVERHEAD_US = 2000.0
 
 #: version of the ``GET /stats`` payload shape; bump when keys change.
-STATS_SCHEMA_VERSION = 2
+STATS_SCHEMA_VERSION = 3
 
 _REG = default_registry()
 _TRACER = default_tracer()
@@ -71,8 +80,29 @@ _FAILOVERS = _REG.counter(
     "repro_cluster_failovers_total",
     "DOWN nodes decommissioned and re-hydrated onto survivors",
 )
+_BREAKER_SKIPS = _REG.counter(
+    "repro_cluster_breaker_skipped_total",
+    "Node attempts skipped because the node's circuit breaker was open",
+)
+_BROWNOUT_SKIPS = _REG.counter(
+    "repro_cluster_brownout_shards_skipped_total",
+    "Populated shards left unsearched by web-tier brownout degradation",
+)
+_DEADLINE_SKIPS = _REG.counter(
+    "repro_cluster_deadline_skipped_shards_total",
+    "Populated shards never attempted because the request deadline had expired",
+)
 _SEARCH_SINGLE = _SEARCHES.labels(kind="single")
 _SEARCH_GROUP = _SEARCHES.labels(kind="group")
+
+
+def _jitter_draw(seed: int, *parts: object) -> float:
+    """Reproducible uniform in [0, 1) keyed on ``parts`` (same recipe
+    as :mod:`repro.distributed.faults` — no global RNG, no ordering
+    sensitivity)."""
+    token = ":".join(str(p) for p in (seed, *parts)).encode()
+    digest = hashlib.blake2b(token, digest_size=8).digest()
+    return int.from_bytes(digest, "big") / 2**64
 
 
 @dataclass(frozen=True)
@@ -85,12 +115,22 @@ class RetryPolicy:
     ``backoff_us * backoff_multiplier**retry`` of simulated time before
     each retry; a node that exhausts its attempts is skipped and its
     shard reported unsearched.
+
+    ``jitter_fraction`` opts into deterministic *full jitter*: each
+    wait is scaled by ``1 - jitter_fraction * u`` with ``u`` a hashed
+    uniform draw keyed on ``(jitter_seed, key, retry_index)``, so
+    synchronized retries against a recovering node de-correlate
+    (thundering-herd avoidance) while every run replays bit-identically.
+    At the default ``jitter_fraction=0`` the waits are exactly the
+    un-jittered schedule.
     """
 
     max_attempts: int = 3
     timeout_us: float = 0.0
     backoff_us: float = 1000.0
     backoff_multiplier: float = 2.0
+    jitter_fraction: float = 0.0
+    jitter_seed: int = 0
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -99,10 +139,24 @@ class RetryPolicy:
             raise ValueError("timeout_us and backoff_us must be non-negative")
         if self.backoff_multiplier < 1.0:
             raise ValueError("backoff_multiplier must be >= 1")
+        if not 0.0 <= self.jitter_fraction <= 1.0:
+            raise ValueError(
+                f"jitter_fraction must be in [0, 1], got {self.jitter_fraction}"
+            )
 
-    def backoff_for(self, retry_index: int) -> float:
-        """Simulated wait before the ``retry_index``-th retry (0-based)."""
-        return self.backoff_us * self.backoff_multiplier**retry_index
+    def backoff_for(self, retry_index: int, key: object = None) -> float:
+        """Simulated wait before the ``retry_index``-th retry (0-based).
+
+        ``key`` scopes the jitter draw (callers pass the node id so
+        distinct nodes de-correlate); it is ignored when
+        ``jitter_fraction`` is 0, which returns the exact un-jittered
+        schedule bit-for-bit.
+        """
+        base = self.backoff_us * self.backoff_multiplier**retry_index
+        if self.jitter_fraction == 0.0:
+            return base
+        u = _jitter_draw(self.jitter_seed, key, retry_index)
+        return base * (1.0 - self.jitter_fraction * u)
 
 
 @dataclass
@@ -110,9 +164,14 @@ class ClusterSearchResult:
     """Scatter-gather outcome across the whole cluster.
 
     ``partial`` is True when at least one populated shard could not be
-    searched (its node was down, timing out, or erroring past the retry
-    budget); ``unsearched_shards`` lists those node ids and ``retries``
-    counts the extra attempts the gather spent.
+    searched (its node was down, timing out, breaker-open, shed by
+    brownout, or erroring past the retry budget) *or* when any node
+    answered with a deadline-truncated sweep; ``unsearched_shards``
+    lists skipped node ids and ``retries`` counts the extra attempts
+    the gather spent.  ``deadline_expired`` is True when the request
+    deadline cut the gather short — whole shards skipped, or per-node
+    sweeps truncated mid-scan (the matches on the shards that *were*
+    searched are bit-identical to a full search's).
     """
 
     matches: list[ImageMatch]
@@ -122,6 +181,7 @@ class ClusterSearchResult:
     partial: bool = False
     unsearched_shards: list[str] = field(default_factory=list)
     retries: int = 0
+    deadline_expired: bool = False
 
     def best(self) -> ImageMatch | None:
         if not self.matches:
@@ -156,6 +216,7 @@ class ClusterGroupResult:
     elapsed_us: float = 0.0
     retries: int = 0
     unsearched_shards: list[str] = field(default_factory=list)
+    deadline_expired: bool = False
 
     @property
     def group_size(self) -> int:
@@ -163,7 +224,7 @@ class ClusterGroupResult:
 
     @property
     def partial(self) -> bool:
-        return bool(self.unsearched_shards)
+        return bool(self.unsearched_shards) or self.deadline_expired
 
 
 class DistributedSearchSystem:
@@ -183,6 +244,7 @@ class DistributedSearchSystem:
         auto_failover: bool = True,
         fault_injector=None,
         health_policy=None,
+        breaker_policy: BreakerPolicy | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ClusterError("a cluster needs at least one node")
@@ -196,12 +258,13 @@ class DistributedSearchSystem:
         self._node_config = node_config
         self._device_spec = device_spec
         self._health_policy = health_policy
+        self._breaker_policy = breaker_policy
         self._node_seq = n_nodes  # next fresh node index (ids are never reused)
         self.fault_injector = None
         self.nodes = [
             SearchNode(
                 f"gpu-{i:02d}", self.engine_config, device_spec, node_config,
-                health_policy=health_policy,
+                health_policy=health_policy, breaker_policy=breaker_policy,
             )
             for i in range(n_nodes)
         ]
@@ -281,6 +344,7 @@ class DistributedSearchSystem:
             device_spec or self.nodes[0].engine.device.spec,
             self._node_config,
             health_policy=self._health_policy,
+            breaker_policy=self._breaker_policy,
         )
         self._node_seq += 1
         if self.fault_injector is not None:
@@ -328,23 +392,41 @@ class DistributedSearchSystem:
         ``(payload | None, node_time_us, retries)``: ``None`` means the
         shard went unsearched; ``node_time_us`` is the simulated time
         this node kept the gather waiting (failed attempts included).
+
+        Every attempt outcome feeds the node's circuit breaker (when
+        one is configured), and backoff waits are charged against the
+        ambient request deadline so a retry storm cannot hide from the
+        budget.
         """
         policy = self.retry_policy
+        deadline = current_deadline()
+        breaker = node.breaker
         spent_us = 0.0
         retries = 0
+
+        def _wait(attempt: int) -> float:
+            wait_us = policy.backoff_for(attempt, key=node.node_id)
+            if deadline is not None:
+                deadline.charge(wait_us)
+            return wait_us
+
         for attempt in range(policy.max_attempts):
             try:
                 payload, elapsed_us = op(node)
             except NodeDownError:
                 # a dead container fails fast; no point retrying it
+                if breaker is not None:
+                    breaker.record_failure()
                 return None, spent_us, retries
             except TransientNodeError:
+                if breaker is not None:
+                    breaker.record_failure()
                 if node.health.state is NodeHealth.DOWN:
                     # the failure streak just crossed the down threshold
                     return None, spent_us, retries
                 if attempt + 1 >= policy.max_attempts:
                     return None, spent_us, retries
-                spent_us += policy.backoff_for(attempt)
+                spent_us += _wait(attempt)
                 retries += 1
                 continue
             if policy.timeout_us and elapsed_us > policy.timeout_us:
@@ -352,16 +434,46 @@ class DistributedSearchSystem:
                 # past it is wasted, so only the budget is charged
                 spent_us += policy.timeout_us
                 node.health.record_failure()
+                if breaker is not None:
+                    breaker.record_failure()
+                if deadline is not None:
+                    # the engine charged its full sweep while running;
+                    # refund the portion past the hang-up point
+                    deadline.spent_us -= max(elapsed_us - policy.timeout_us, 0.0)
                 if node.health.state is NodeHealth.DOWN or attempt + 1 >= policy.max_attempts:
                     return None, spent_us, retries
-                spent_us += policy.backoff_for(attempt)
+                spent_us += _wait(attempt)
                 retries += 1
                 continue
+            if breaker is not None:
+                breaker.record_success()
             return payload, spent_us + elapsed_us, retries
         return None, spent_us, retries
 
     def _populated_nodes(self) -> list[SearchNode]:
         return [node for node in self.nodes if node.n_references > 0]
+
+    def _gather_targets(self, populated: list[SearchNode]) -> tuple[list[SearchNode], list[str]]:
+        """Apply any ambient brownout to the fan-out target set.
+
+        When the web tier has entered brownout
+        (:func:`repro.obs.brownout_scope`), the gather degrades to a
+        fraction of the populated shards instead of rejecting the
+        request outright.  The fraction is floored at
+        ``min_shard_fraction`` so a brownout can never *itself* trip
+        :class:`DegradedClusterError`.  Returns ``(targets,
+        skipped_node_ids)``.
+        """
+        fraction = current_brownout()
+        if fraction is None or not populated:
+            return populated, []
+        fraction = max(fraction, self.min_shard_fraction)
+        keep = max(1, math.ceil(fraction * len(populated)))
+        if keep >= len(populated):
+            return populated, []
+        skipped = [node.node_id for node in populated[keep:]]
+        _BROWNOUT_SKIPS.inc(len(skipped))
+        return populated[:keep], skipped
 
     @staticmethod
     def _record_gather(search_counter, retries: int, unsearched: list[str]) -> None:
@@ -398,10 +510,29 @@ class DistributedSearchSystem:
             retries = 0
             unsearched: list[str] = []
             populated = self._populated_nodes()
-            for node in populated:
-                result, node_us, node_retries = self._attempt_with_retry(
-                    node, lambda n: (r := n.search(query_descriptors), r.elapsed_us)
-                )
+            targets, brownout_skipped = self._gather_targets(populated)
+            deadline = current_deadline()
+            fanout = DeadlineFanOut(deadline) if deadline is not None else None
+            deadline_skipped: list[str] = []
+            if fanout is not None and fanout.expired_at_entry:
+                # the budget was gone before the fan-out even started
+                deadline_skipped = [node.node_id for node in targets]
+                _DEADLINE_SKIPS.inc(len(deadline_skipped))
+                targets = []
+            for node in targets:
+                if node.breaker is not None and not node.breaker.allow():
+                    _BREAKER_SKIPS.inc()
+                    unsearched.append(node.node_id)
+                    continue
+                if fanout is not None:
+                    with fanout.branch():
+                        result, node_us, node_retries = self._attempt_with_retry(
+                            node, lambda n: (r := n.search(query_descriptors), r.elapsed_us)
+                        )
+                else:
+                    result, node_us, node_retries = self._attempt_with_retry(
+                        node, lambda n: (r := n.search(query_descriptors), r.elapsed_us)
+                    )
                 slowest_us = max(slowest_us, node_us)
                 retries += node_retries
                 if result is None:
@@ -410,6 +541,10 @@ class DistributedSearchSystem:
                 per_node[node.node_id] = result
                 matches.extend(result.matches)
                 images += result.images_searched
+            if fanout is not None:
+                fanout.join()
+            unsearched.extend(brownout_skipped)
+            unsearched.extend(deadline_skipped)
             if self.auto_failover:
                 self.repair()
             self._record_gather(_SEARCH_SINGLE, retries, unsearched)
@@ -418,14 +553,18 @@ class DistributedSearchSystem:
                          unsearched=len(unsearched),
                          sim_elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US)
             self._check_degradation(populated, unsearched)
+        deadline_expired = bool(deadline_skipped) or any(
+            r.partial for r in per_node.values()
+        )
         return ClusterSearchResult(
             matches=matches,
             per_node=per_node,
             elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US,
             images_searched=images,
-            partial=bool(unsearched),
+            partial=bool(unsearched) or deadline_expired,
             unsearched_shards=unsearched,
             retries=retries,
+            deadline_expired=deadline_expired,
         )
 
     def search_group(self, query_descriptor_list: list[np.ndarray]) -> ClusterGroupResult:
@@ -454,24 +593,44 @@ class DistributedSearchSystem:
             slowest_us = 0.0
             retries = 0
             unsearched: list[str] = []
+            truncated = False  # any node answered with a deadline-cut sweep
             populated = self._populated_nodes()
-            for node in populated:
-                grouped, node_us, node_retries = self._attempt_with_retry(
-                    node,
-                    lambda n: (
-                        g := n.search_many(query_descriptor_list),
-                        max(r.elapsed_us for r in g),
-                    ),
-                )
+            targets, brownout_skipped = self._gather_targets(populated)
+            deadline = current_deadline()
+            fanout = DeadlineFanOut(deadline) if deadline is not None else None
+            deadline_skipped: list[str] = []
+            if fanout is not None and fanout.expired_at_entry:
+                deadline_skipped = [node.node_id for node in targets]
+                _DEADLINE_SKIPS.inc(len(deadline_skipped))
+                targets = []
+            for node in targets:
+                if node.breaker is not None and not node.breaker.allow():
+                    _BREAKER_SKIPS.inc()
+                    unsearched.append(node.node_id)
+                    continue
+                def op(n: SearchNode):
+                    grouped = n.search_many(query_descriptor_list)
+                    return grouped, max(r.elapsed_us for r in grouped)
+
+                if fanout is not None:
+                    with fanout.branch():
+                        grouped, node_us, node_retries = self._attempt_with_retry(node, op)
+                else:
+                    grouped, node_us, node_retries = self._attempt_with_retry(node, op)
                 slowest_us = max(slowest_us, node_us)
                 retries += node_retries
                 if grouped is None:
                     unsearched.append(node.node_id)
                     continue
                 for q, result in enumerate(grouped):
+                    truncated = truncated or result.partial
                     per_query_matches[q].extend(result.matches)
                     per_node_all[q][node.node_id] = result
                     per_query_images[q] += result.images_searched
+            if fanout is not None:
+                fanout.join()
+            unsearched.extend(brownout_skipped)
+            unsearched.extend(deadline_skipped)
             if self.auto_failover:
                 self.repair()
             self._record_gather(_SEARCH_GROUP, retries, unsearched)
@@ -481,6 +640,7 @@ class DistributedSearchSystem:
                          sim_elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US)
             self._check_degradation(populated, unsearched)
         elapsed = slowest_us + WEB_TIER_OVERHEAD_US
+        deadline_expired = bool(deadline_skipped) or truncated
         return ClusterGroupResult(
             results=[
                 ClusterSearchResult(
@@ -488,15 +648,17 @@ class DistributedSearchSystem:
                     per_node=per_node_all[q],
                     elapsed_us=elapsed,
                     images_searched=per_query_images[q],
-                    partial=bool(unsearched),
+                    partial=bool(unsearched) or deadline_expired,
                     unsearched_shards=list(unsearched),  # private copy per query
                     retries=retries,
+                    deadline_expired=deadline_expired,
                 )
                 for q in range(n_queries)
             ],
             elapsed_us=elapsed,
             retries=retries,
             unsearched_shards=list(unsearched),
+            deadline_expired=deadline_expired,
         )
 
     def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[ClusterSearchResult]:
@@ -606,5 +768,33 @@ class DistributedSearchSystem:
                     "repro_cluster_partial_results_total"
                 ),
                 "failovers_total": _REG.value("repro_cluster_failovers_total"),
+            },
+            "overload": {
+                "shed_reject_new_total": _REG.value(
+                    "repro_serving_shed_total", reason="reject-new"
+                ),
+                "shed_drop_oldest_total": _REG.value(
+                    "repro_serving_shed_total", reason="drop-oldest"
+                ),
+                "shed_deadline_expired_total": _REG.value(
+                    "repro_serving_shed_total", reason="deadline-expired"
+                ),
+                "deadline_expired_sweeps_total": _REG.value(
+                    "repro_engine_deadline_expired_total"
+                ),
+                "deadline_skipped_shards_total": _REG.value(
+                    "repro_cluster_deadline_skipped_shards_total"
+                ),
+                "breaker_skipped_total": _REG.value(
+                    "repro_cluster_breaker_skipped_total"
+                ),
+                "breaker_opened_total": _REG.value(
+                    "repro_breaker_transitions_total", to="open"
+                ),
+                "brownout_shards_skipped_total": _REG.value(
+                    "repro_cluster_brownout_shards_skipped_total"
+                ),
+                "rate_limited_total": _REG.value("repro_web_rate_limited_total"),
+                "brownout_requests_total": _REG.value("repro_web_brownout_total"),
             },
         }

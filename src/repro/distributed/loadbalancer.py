@@ -12,7 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-from ..obs import default_registry, default_tracer
+from ..obs import brownout_scope, default_registry, default_tracer
+from .admission import AdmissionPolicy, TokenBucket
 from .cluster import DistributedSearchSystem, WEB_TIER_OVERHEAD_US
 from .rest import Request, Response, Router, build_api
 
@@ -21,11 +22,27 @@ __all__ = ["DispatchRecord", "WebTier"]
 #: request parsing/serialisation cost charged per request on its worker.
 REQUEST_HANDLING_US = 500.0
 
+#: cheap early-exit cost of a rate-limited (429) response — the whole
+#: point of shedding at the front door is that it costs almost nothing.
+SHED_HANDLING_US = 50.0
+
+#: routes subject to admission control (mutations and probes always pass).
+_SEARCH_ROUTES = ("/search", "/search/batch")
+
+_REG = default_registry()
 _TRACER = default_tracer()
-_WEB_REQUESTS = default_registry().counter(
+_WEB_REQUESTS = _REG.counter(
     "repro_web_requests_total",
     "Requests dispatched through the web tier, by route root and status",
     ("route", "status"),
+)
+_RATE_LIMITED = _REG.counter(
+    "repro_web_rate_limited_total",
+    "Search requests rejected with 429 by the web tier's token bucket",
+)
+_BROWNOUTS = _REG.counter(
+    "repro_web_brownout_total",
+    "Search requests served in brownout (reduced shard fraction)",
 )
 
 
@@ -56,6 +73,7 @@ class WebTier:
         system: DistributedSearchSystem,
         n_workers: int = 4,
         policy: str = "round-robin",
+        admission: AdmissionPolicy | None = None,
     ) -> None:
         if n_workers < 1:
             raise ValueError("need at least one web worker")
@@ -63,6 +81,12 @@ class WebTier:
             raise ValueError(f"unknown policy {policy!r}")
         self.system = system
         self.policy = policy
+        self.admission = admission
+        self._bucket = (
+            TokenBucket(admission.rate_per_s, admission.burst)
+            if admission is not None and admission.rate_per_s > 0
+            else None
+        )
         self.routers: list[Router] = [build_api(system) for _ in range(n_workers)]
         self.worker_clock_us = [0.0] * n_workers
         self.requests_handled = [0] * n_workers
@@ -79,21 +103,65 @@ class WebTier:
         self._next = (self._next + 1) % self.n_workers
         return worker
 
+    def _admit(self, request: Request, now_us: float) -> tuple[Response | None, float | None]:
+        """Admission decision for one request at worker time ``now_us``.
+
+        Returns ``(rejection, brownout_fraction)``: a 429 response when
+        the token bucket is empty, else optionally the shard fraction
+        to brown out to when tokens are running low.  Non-search routes
+        always pass — shedding a DELETE saves nothing and loses data.
+        """
+        if self._bucket is None or request.path not in _SEARCH_ROUTES:
+            return None, None
+        if not self._bucket.try_take(now_us):
+            _RATE_LIMITED.inc()
+            return Response(429, {
+                "error": "rate limited",
+                "retry_after_us": self._bucket.retry_after_us(now_us),
+            }), None
+        if self._bucket.fraction < self.admission.brownout_tokens:
+            _BROWNOUTS.inc()
+            return None, self.admission.brownout_shard_fraction
+        return None, None
+
     def handle(self, request: Request) -> DispatchRecord:
         """Dispatch one request; the worker's clock advances by the
-        handling cost plus (for searches) the cluster's simulated time."""
+        handling cost plus (for searches) the cluster's simulated time.
+
+        With an :class:`AdmissionPolicy` configured, search routes pass
+        through the token bucket first: an empty bucket sheds the
+        request with a cheap 429 (``retry_after_us`` hints when to come
+        back), and a nearly-empty one serves it in *brownout* — the
+        cluster degrades to a fraction of its shards and answers
+        ``partial=True`` rather than turning the request away.
+        """
         worker = self._pick_worker()
         started = self.worker_clock_us[worker]
+        rejection, brownout = self._admit(request, started)
+        root = request.path.split("/", 2)[1] if "/" in request.path else request.path
+        if rejection is not None:
+            _WEB_REQUESTS.labels(route=root, status=rejection.status).inc()
+            self.worker_clock_us[worker] = started + SHED_HANDLING_US
+            self.requests_handled[worker] += 1
+            return DispatchRecord(
+                worker=worker,
+                response=rejection,
+                started_us=started,
+                completed_us=self.worker_clock_us[worker],
+            )
         with _TRACER.span(
             "web.request", layer="web",
             method=request.method, path=request.path, worker=worker,
         ) as span:
-            response = self.routers[worker].handle(request)
+            if brownout is not None:
+                with brownout_scope(brownout):
+                    response = self.routers[worker].handle(request)
+            else:
+                response = self.routers[worker].handle(request)
             if span is not None:
                 span.set(status=response.status)
         # route label uses only the first path segment — ids would
         # explode the label cardinality
-        root = request.path.split("/", 2)[1] if "/" in request.path else request.path
         _WEB_REQUESTS.labels(route=root, status=response.status).inc()
         cost = REQUEST_HANDLING_US
         if request.path in ("/search", "/search/batch") and response.ok:

@@ -19,6 +19,7 @@ from ..errors import NodeDownError, TransientNodeError
 from ..gpusim.device import DeviceSpec, TESLA_P100
 from ..gpusim.engine_model import GPUDevice
 from ..obs import default_tracer
+from .breaker import BreakerPolicy, CircuitBreaker
 from .health import HealthPolicy, HealthTracker, NodeHealth
 from .kvstore import KVStore
 from .serialization import FeatureRecord, deserialize_record
@@ -50,6 +51,7 @@ class SearchNode:
         node_config: NodeConfig | None = None,
         health_policy: HealthPolicy | None = None,
         backend: str | None = None,
+        breaker_policy: BreakerPolicy | None = None,
     ) -> None:
         self.node_id = str(node_id)
         self.node_config = node_config or NodeConfig()
@@ -64,6 +66,9 @@ class SearchNode:
             pinned=self.node_config.pinned,
         )
         self.health = HealthTracker(health_policy)
+        #: per-node circuit breaker (opt-in: ``None`` keeps the
+        #: pre-breaker behaviour of attempting every serving node).
+        self.breaker = CircuitBreaker(breaker_policy) if breaker_policy is not None else None
         #: optional :class:`~repro.distributed.faults.FaultInjector`
         #: consulted on every search-path operation.
         self.fault_injector = None
@@ -156,11 +161,14 @@ class SearchNode:
         ):
             self.health.record_crash()
         self.health.heartbeats += 1
-        return {
+        beat = {
             "node_id": self.node_id,
             "references": self.n_references,
             **self.health.snapshot(),
         }
+        if self.breaker is not None:
+            beat["breaker"] = self.breaker.state.value
+        return beat
 
     def hydrate_from_store(self, store: KVStore, keys: list[str]) -> int:
         """Load serialized feature records from the KV store."""
@@ -214,6 +222,7 @@ class SearchNode:
             "device": self.engine.device.spec.name,
             "backend": self.engine.backend,
             "health": self.health.state.value,
+            "breaker": self.breaker.state.value if self.breaker else "disabled",
             "references": self.n_references,
             "capacity_images": self.capacity_images(),
             "gpu_cache_bytes": gpu_used,

@@ -9,8 +9,10 @@ Routes::
     GET    /textures/{id}
     PUT    /textures/{id}       {"descriptors": [[...], ...]}
     DELETE /textures/{id}
-    POST   /search              {"descriptors": [[...], ...], "top": k}
-    POST   /search/batch        {"queries": [[[...], ...], ...], "top": k}
+    POST   /search              {"descriptors": [[...], ...], "top": k,
+                                 "budget_us": t}   # optional deadline
+    POST   /search/batch        {"queries": [[[...], ...], ...], "top": k,
+                                 "budget_us": t}
     GET    /stats
     GET    /health
     GET    /metrics
@@ -29,6 +31,7 @@ from typing import Callable
 import numpy as np
 
 from ..errors import DegradedClusterError, RestError
+from ..obs import deadline_scope
 from .cluster import DistributedSearchSystem
 
 __all__ = ["Request", "Response", "Router", "build_api"]
@@ -90,6 +93,20 @@ class Router:
         if matched_path:
             return Response(405, {"error": f"method {request.method} not allowed"})
         return Response(404, {"error": f"no route for {request.path}"})
+
+
+def _parse_budget(body: dict) -> float | None:
+    """Optional per-request deadline budget (simulated µs) from the body."""
+    raw = body.get("budget_us")
+    if raw is None:
+        return None
+    try:
+        budget_us = float(raw)
+    except (TypeError, ValueError) as exc:
+        raise RestError(400, f"'budget_us' must be a number, got {raw!r}") from exc
+    if budget_us <= 0:
+        raise RestError(400, f"'budget_us' must be > 0, got {budget_us}")
+    return budget_us
 
 
 def _parse_descriptors(body: dict, d_expected: int) -> np.ndarray:
@@ -165,8 +182,13 @@ def build_api(system: DistributedSearchSystem) -> Router:
         top = int(request.body.get("top", 1))
         if not (1 <= top <= 100):
             raise RestError(400, "'top' must be in [1, 100]")
+        budget_us = _parse_budget(request.body)
         try:
-            result = system.search(matrix)
+            if budget_us is not None:
+                with deadline_scope(budget_us):
+                    result = system.search(matrix)
+            else:
+                result = system.search(matrix)
         except DegradedClusterError as exc:
             raise RestError(503, str(exc)) from exc
         return Response(
@@ -181,6 +203,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "throughput_images_per_s": result.throughput_images_per_s,
                 "partial": result.partial,
                 "unsearched_shards": list(result.unsearched_shards),
+                "deadline_expired": result.deadline_expired,
             },
         )
 
@@ -200,11 +223,16 @@ def build_api(system: DistributedSearchSystem) -> Router:
         top = int(request.body.get("top", 1))
         if not (1 <= top <= 100):
             raise RestError(400, "'top' must be in [1, 100]")
+        budget_us = _parse_budget(request.body)
         matrices = [
             _parse_descriptors({"descriptors": q}, d) for q in raw_queries
         ]
         try:
-            group = system.search_group(matrices)
+            if budget_us is not None:
+                with deadline_scope(budget_us):
+                    group = system.search_group(matrices)
+            else:
+                group = system.search_group(matrices)
         except DegradedClusterError as exc:
             raise RestError(503, str(exc)) from exc
         return Response(
@@ -215,6 +243,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "retries": group.retries,
                 "partial": group.partial,
                 "unsearched_shards": list(group.unsearched_shards),
+                "deadline_expired": group.deadline_expired,
                 "queries": [
                     {
                         "results": [
@@ -230,6 +259,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                         "partial": result.partial,
                         "unsearched_shards": list(result.unsearched_shards),
                         "retries": result.retries,
+                        "deadline_expired": result.deadline_expired,
                     }
                     for result in group.results
                 ],

@@ -126,3 +126,22 @@ class RestError(ReproError):
     def __init__(self, status: int, message: str) -> None:
         self.status = int(status)
         super().__init__(message)
+
+
+class ServingError(ReproError):
+    """Base class for serving-tier (admission/batching) failures."""
+
+
+class ExecutorContractError(ServingError):
+    """A :class:`~repro.serving.executors.GroupExecutor` broke its
+    contract: the payload list must have exactly one entry per query in
+    the group it was handed."""
+
+    def __init__(self, expected: int, got: int, executor: str = "") -> None:
+        self.expected = int(expected)
+        self.got = int(got)
+        self.executor = str(executor)
+        who = f"executor {self.executor!r}" if self.executor else "executor"
+        super().__init__(
+            f"{who} returned {got} payloads for a group of {expected}"
+        )

@@ -28,16 +28,30 @@ from .metrics import (
     default_registry,
     set_default_registry,
 )
+from .reqctx import (
+    Deadline,
+    DeadlineFanOut,
+    brownout_scope,
+    current_brownout,
+    current_deadline,
+    deadline_scope,
+)
 from .tracing import RequestTracer, Span, default_tracer, to_perfetto
 
 __all__ = [
     "Counter",
     "DEFAULT_US_BUCKETS",
+    "Deadline",
+    "DeadlineFanOut",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "RequestTracer",
     "Span",
+    "brownout_scope",
+    "current_brownout",
+    "current_deadline",
+    "deadline_scope",
     "default_registry",
     "default_tracer",
     "reset_observability",

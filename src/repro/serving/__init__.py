@@ -38,7 +38,7 @@ from .executors import (
     SerialEngineExecutor,
     WebTierBatchExecutor,
 )
-from .metrics import ServingMeters, ServingReport, percentile
+from .metrics import Rejected, ServingMeters, ServingReport, percentile
 from .workload import burst_arrivals, poisson_arrivals
 
 __all__ = [
@@ -48,6 +48,7 @@ __all__ = [
     "FusedEngineExecutor",
     "GroupExecutor",
     "GroupRecord",
+    "Rejected",
     "RequestRecord",
     "SerialEngineExecutor",
     "ServingMeters",

@@ -7,6 +7,14 @@ pending ("size" trigger) or when the oldest pending request has waited
 that arrive while a group is executing join the *next* group —
 continuous batching, not static windowing.
 
+Overload protection is opt-in per policy: ``max_queue_depth`` bounds
+the queue (arrivals beyond it are shed per the ``shed`` policy with a
+typed :class:`~repro.serving.metrics.Rejected` outcome and a
+``retry_after_us`` hint), and requests may carry a ``deadline_us`` —
+expired ones are shed at dispatch instead of wasting a sweep, and the
+surviving group executes under a :func:`repro.obs.deadline_scope`
+covering its tightest member so downstream sweeps can truncate.
+
 :func:`simulate_serving` advances a simulated microsecond clock over a
 sorted arrival trace.  The device is modelled as a single serial
 executor (one fused sweep at a time, matching the engine's serialized
@@ -22,8 +30,9 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Sequence
 
-from ..obs import default_registry, default_tracer
-from .metrics import GROUP_SIZE_BUCKETS, ServingMeters, ServingReport
+from ..errors import ExecutorContractError
+from ..obs import deadline_scope, default_registry, default_tracer
+from .metrics import GROUP_SIZE_BUCKETS, Rejected, ServingMeters, ServingReport
 
 _REG = default_registry()
 _TRACER = default_tracer()
@@ -49,6 +58,11 @@ _QUEUE_WAIT_US = _REG.histogram(
     "repro_serving_queue_wait_us",
     "Simulated time requests waited for admission",
 )
+_SHED = _REG.counter(
+    "repro_serving_shed_total",
+    "Requests shed by the serving tier, by reason",
+    ("reason",),
+)
 _GROUP_SIZE_TRIGGER = _SERVING_GROUPS.labels(trigger="size")
 _GROUP_TIMEOUT_TRIGGER = _SERVING_GROUPS.labels(trigger="timeout")
 
@@ -71,27 +85,50 @@ class BatchPolicy:
     ``max_batch=1`` degenerates to per-query serving (the baseline);
     ``max_wait_us=0`` launches whatever is pending as soon as the
     device frees up, never holding a request back for company.
+
+    ``max_queue_depth`` bounds the admission queue (0 = unbounded, the
+    pre-overload-protection behaviour).  When an arrival finds the
+    queue full, ``shed`` picks the victim: ``"reject-new"`` bounces
+    the arrival, ``"drop-oldest"`` evicts the head (the request most
+    likely to miss its deadline anyway) and admits the arrival.
     """
 
     max_batch: int = 8
     max_wait_us: float = 0.0
+    max_queue_depth: int = 0
+    shed: str = "reject-new"
 
     def __post_init__(self) -> None:
         if self.max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {self.max_batch}")
         if self.max_wait_us < 0:
             raise ValueError(f"max_wait_us must be >= 0, got {self.max_wait_us}")
+        if self.max_queue_depth < 0:
+            raise ValueError(
+                f"max_queue_depth must be >= 0, got {self.max_queue_depth}"
+            )
+        if self.shed not in ("reject-new", "drop-oldest"):
+            raise ValueError(
+                f"shed must be 'reject-new' or 'drop-oldest', got {self.shed!r}"
+            )
 
 
 @dataclass(frozen=True)
 class ServingRequest:
     """One query submission: an arrival timestamp plus an opaque query
     payload (a descriptor matrix for engine executors, anything the
-    executor understands otherwise)."""
+    executor understands otherwise).
+
+    ``deadline_us`` is an optional *absolute* simulated-time deadline:
+    a request still queued past it is shed instead of dispatched, and
+    one dispatched close to it truncates downstream sweeps via
+    :func:`repro.obs.deadline_scope`.  ``None`` means "wait forever".
+    """
 
     request_id: int
     arrival_us: float
     query: Any
+    deadline_us: float | None = None
 
 
 @dataclass
@@ -124,6 +161,7 @@ class RequestRecord:
     dispatched_us: float
     completed_us: float
     result: Any = field(default=None, repr=False)
+    deadline_us: float | None = None
 
     @property
     def queue_wait_us(self) -> float:
@@ -172,18 +210,35 @@ class DynamicBatcher:
         count = min(self.policy.max_batch, len(self._pending))
         return [self._pending.popleft() for _ in range(count)]
 
+    def drop_oldest(self) -> ServingRequest:
+        """Evict and return the head of the queue (shed victim)."""
+        return self._pending.popleft()
+
 
 def build_trace(
-    arrivals: Sequence[float], queries: Sequence[Any]
+    arrivals: Sequence[float],
+    queries: Sequence[Any],
+    deadline_us: float | None = None,
 ) -> list[ServingRequest]:
     """Zip arrival times with query payloads into a trace.  Request ids
-    follow submission order, which also breaks arrival-time ties."""
+    follow submission order, which also breaks arrival-time ties.
+
+    ``deadline_us`` is a *relative* per-request budget: each request's
+    absolute deadline is its arrival time plus the budget.
+    """
     if len(arrivals) != len(queries):
         raise ValueError(
             f"{len(arrivals)} arrivals but {len(queries)} queries"
         )
+    if deadline_us is not None and deadline_us <= 0:
+        raise ValueError(f"deadline_us must be > 0, got {deadline_us}")
     return [
-        ServingRequest(request_id=i, arrival_us=float(t), query=q)
+        ServingRequest(
+            request_id=i,
+            arrival_us=float(t),
+            query=q,
+            deadline_us=None if deadline_us is None else float(t) + float(deadline_us),
+        )
         for i, (t, q) in enumerate(zip(arrivals, queries))
     ]
 
@@ -199,24 +254,57 @@ def simulate_serving(
     ``executor`` is any object with
     ``execute(queries) -> (payloads, elapsed_us)`` — see
     :mod:`repro.serving.executors`.
+
+    With a bounded queue (``policy.max_queue_depth > 0``) arrivals
+    that find it full are shed per ``policy.shed``; requests whose
+    ``deadline_us`` passes while they wait are shed at dispatch.  Shed
+    requests never execute — they come back as typed
+    :class:`~repro.serving.metrics.Rejected` outcomes in
+    ``report.rejected``, each with a ``retry_after_us`` hint.
     """
     requests = sorted(trace, key=lambda r: r.arrival_us)
     batcher = DynamicBatcher(policy)
     records: list[RequestRecord] = []
     groups: list[GroupRecord] = []
+    rejected: list[Rejected] = []
     meters = ServingMeters()
 
     i = 0
     n = len(requests)
     t = 0.0
     free_at = 0.0
+
+    def _shed(request: ServingRequest, now_us: float, reason: str) -> None:
+        _SHED.labels(reason=reason).inc()
+        if reason == "deadline-expired":
+            retry_after_us = 0.0  # retrying a missed deadline buys nothing
+        else:
+            # earliest the device could even start it, plus its full
+            # wait budget: the soonest a retry stands a fair chance
+            retry_after_us = max(free_at - now_us, 0.0) + policy.max_wait_us
+        rejected.append(
+            Rejected(
+                request_id=request.request_id,
+                arrival_us=request.arrival_us,
+                shed_us=now_us,
+                reason=reason,
+                retry_after_us=retry_after_us,
+            )
+        )
+
     while i < n or len(batcher):
         if not len(batcher):
             t = max(t, requests[i].arrival_us)
         while i < n and requests[i].arrival_us <= t:
-            batcher.enqueue(requests[i])
-            _SERVING_REQUESTS.inc()
+            arrival = requests[i]
             i += 1
+            if policy.max_queue_depth and len(batcher) >= policy.max_queue_depth:
+                if policy.shed == "reject-new":
+                    _shed(arrival, arrival.arrival_us, "reject-new")
+                    continue
+                _shed(batcher.drop_oldest(), arrival.arrival_us, "drop-oldest")
+            batcher.enqueue(arrival)
+            _SERVING_REQUESTS.inc()
         depth = len(batcher)
         _QUEUE_DEPTH.set(depth)
         meters.observe_queue_depth(depth)
@@ -235,19 +323,40 @@ def simulate_serving(
             else:
                 t = deadline
             continue
-        group = batcher.take()
+        taken = batcher.take()
         _QUEUE_DEPTH.set(len(batcher))
+        group = []
+        for request in taken:
+            if request.deadline_us is not None and t >= request.deadline_us:
+                # expired while queued: shedding now is strictly better
+                # than spending device time on an answer nobody awaits
+                _shed(request, t, "deadline-expired")
+            else:
+                group.append(request)
+        if not group:
+            continue
+        # the group's sweep runs under its tightest member's remaining
+        # budget, so downstream engines can truncate instead of overrun
+        budgets = [
+            r.deadline_us - t for r in group if r.deadline_us is not None
+        ]
         with _TRACER.span(
             "serving.group", layer="serving",
             size=len(group), trigger=trig,
         ) as span:
-            payloads, elapsed_us = executor.execute([r.query for r in group])
+            queries = [r.query for r in group]
+            if budgets:
+                with deadline_scope(min(budgets)):
+                    payloads, elapsed_us = executor.execute(queries)
+            else:
+                payloads, elapsed_us = executor.execute(queries)
             if span is not None:
                 span.set(sim_elapsed_us=float(elapsed_us))
         if len(payloads) != len(group):
-            raise RuntimeError(
-                f"executor returned {len(payloads)} payloads for a "
-                f"group of {len(group)}"
+            raise ExecutorContractError(
+                expected=len(group),
+                got=len(payloads),
+                executor=type(executor).__name__,
             )
         completed = t + float(elapsed_us)
         (_GROUP_SIZE_TRIGGER if trig == "size" else _GROUP_TIMEOUT_TRIGGER).inc()
@@ -274,9 +383,19 @@ def simulate_serving(
                     dispatched_us=t,
                     completed_us=completed,
                     result=payload,
+                    deadline_us=request.deadline_us,
                 )
             )
         free_at = completed
 
+    # the loop drained: leave the gauge telling the truth (an idle
+    # queue), not frozen at the last pre-launch depth
+    _QUEUE_DEPTH.set(0)
+    meters.observe_queue_depth(0)
+
     records.sort(key=lambda r: r.request_id)
-    return ServingReport(policy=policy, records=records, groups=groups, meters=meters)
+    rejected.sort(key=lambda r: r.request_id)
+    return ServingReport(
+        policy=policy, records=records, groups=groups,
+        meters=meters, rejected=rejected,
+    )

@@ -18,7 +18,7 @@ from ..obs.metrics import Histogram
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, hints only
     from .batcher import BatchPolicy, GroupRecord, RequestRecord
 
-__all__ = ["ServingMeters", "ServingReport", "percentile"]
+__all__ = ["Rejected", "ServingMeters", "ServingReport", "percentile"]
 
 #: group sizes are bounded by the policy's max_batch (<= 64 at REST).
 GROUP_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
@@ -30,6 +30,25 @@ def make_group_size_histogram() -> Histogram:
         "serving_group_size", "requests fused per group",
         buckets=GROUP_SIZE_BUCKETS,
     )
+
+
+@dataclass(frozen=True)
+class Rejected:
+    """Typed shed outcome for one request that never executed.
+
+    ``reason`` is one of ``"reject-new"`` (queue full, this request
+    bounced), ``"drop-oldest"`` (queue full, this request was evicted
+    to make room), or ``"deadline-expired"`` (its deadline passed
+    while it waited).  ``retry_after_us`` hints how long (simulated)
+    the client should wait before retrying — the time until the device
+    frees up plus the policy's wait budget; 0 when no estimate exists.
+    """
+
+    request_id: int
+    arrival_us: float
+    shed_us: float
+    reason: str
+    retry_after_us: float = 0.0
 
 
 @dataclass
@@ -86,10 +105,52 @@ class ServingReport:
     #: figures are read from them instead of recomputed from ``groups``
     #: (equivalent by construction — the loop observes every launch).
     meters: ServingMeters | None = None
+    #: requests shed by admission control or expired deadlines —
+    #: they never executed and are absent from ``records``.
+    rejected: list[Rejected] = field(default_factory=list)
 
     @property
     def n_requests(self) -> int:
         return len(self.records)
+
+    @property
+    def n_rejected(self) -> int:
+        return len(self.rejected)
+
+    @property
+    def n_offered(self) -> int:
+        """Every request the trace offered, executed or shed."""
+        return self.n_requests + self.n_rejected
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of offered requests shed (0.0 on an empty trace)."""
+        if not self.n_offered:
+            return 0.0
+        return self.n_rejected / self.n_offered
+
+    @property
+    def shed_reasons(self) -> dict[str, int]:
+        return dict(Counter(r.reason for r in self.rejected))
+
+    @property
+    def n_good(self) -> int:
+        """Executed requests that also met their deadline (requests
+        without a deadline always count)."""
+        return sum(
+            1 for r in self.records
+            if r.deadline_us is None or r.completed_us <= r.deadline_us
+        )
+
+    @property
+    def goodput_requests_per_s(self) -> float:
+        """Deadline-meeting completions per second of makespan — the
+        metric that collapses under metastable overload and plateaus
+        under admission control."""
+        span = self.makespan_us
+        if span <= 0:
+            return 0.0
+        return self.n_good / (span / 1e6)
 
     @property
     def n_groups(self) -> int:
@@ -192,4 +253,11 @@ class ServingReport:
             "triggers": {
                 k: self.trigger_counts[k] for k in sorted(self.trigger_counts)
             },
+            "n_rejected": self.n_rejected,
+            "shed_rate": round(self.shed_rate, 4),
+            "shed_reasons": {
+                k: self.shed_reasons[k] for k in sorted(self.shed_reasons)
+            },
+            "n_good": self.n_good,
+            "goodput_requests_per_s": round(self.goodput_requests_per_s, 3),
         }

@@ -280,6 +280,14 @@ class TestServingMeters:
         assert report.peak_queue_depth >= 1
         assert report.to_dict()["peak_queue_depth"] == report.peak_queue_depth
 
+    def test_queue_depth_gauge_settles_to_zero_after_drain(self):
+        # the loop's final observation: once every request has been
+        # dispatched the gauge must read an empty queue, not whatever
+        # depth the last group left behind
+        report = self._report()
+        assert default_registry().value("repro_serving_queue_depth") == 0.0
+        assert report.meters.peak_queue_depth >= 1
+
     def test_serving_registry_series(self):
         reg = default_registry()
         self._report()

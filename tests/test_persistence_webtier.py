@@ -203,7 +203,7 @@ class TestWebTier:
         stats = tier.handle(Request("GET", "/stats")).response
         assert stats.ok
         body = stats.body
-        assert body["schema_version"] == STATS_SCHEMA_VERSION == 2
+        assert body["schema_version"] == STATS_SCHEMA_VERSION == 3
         assert body["references"] == 10
         cache = body["cache"]
         assert cache["adds_total"] > 0  # sealed batches entered the cache
@@ -214,6 +214,11 @@ class TestWebTier:
         assert ft["retries_total"] == 0
         assert ft["partial_results_total"] == 0
         assert ft["failovers_total"] == 0
+        overload = body["overload"]
+        assert overload["shed_reject_new_total"] == 0
+        assert overload["deadline_expired_sweeps_total"] == 0
+        assert overload["breaker_skipped_total"] == 0
+        assert overload["rate_limited_total"] == 0
 
     def test_latency_is_delta_not_absolute_clock(self):
         """Regression: ``DispatchRecord.latency_us`` must be the

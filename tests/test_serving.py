@@ -8,6 +8,7 @@ import pytest
 
 from tests.conftest import make_descriptors, noisy_copy
 from repro.core import EngineConfig, TextureSearchEngine
+from repro.errors import ExecutorContractError
 from repro.distributed import (
     DistributedSearchSystem,
     FaultInjector,
@@ -104,6 +105,33 @@ class TestDynamicBatcher:
         assert batcher.trigger(1e9) is None
         assert batcher.deadline_us() is None
 
+    def test_trigger_exactly_at_deadline(self):
+        # the boundary is inclusive: now == oldest arrival + max_wait_us
+        # fires, one tick earlier does not
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8, max_wait_us=250.0))
+        batcher.enqueue(ServingRequest(0, 100.0, "a"))
+        deadline = batcher.deadline_us()
+        assert deadline == 350.0
+        assert batcher.trigger(deadline - 1e-9) is None
+        assert batcher.trigger(deadline) == "timeout"
+
+    def test_simultaneous_size_and_timeout_prefers_size(self):
+        # queue is full *and* the oldest request's wait has elapsed at
+        # the same instant: the size trigger wins the tie
+        batcher = DynamicBatcher(BatchPolicy(max_batch=2, max_wait_us=100.0))
+        batcher.enqueue(ServingRequest(0, 0.0, "a"))
+        batcher.enqueue(ServingRequest(1, 100.0, "b"))
+        assert batcher.trigger(100.0) == "size"
+
+    def test_drop_oldest_evicts_the_queue_head(self):
+        batcher = DynamicBatcher(BatchPolicy(max_batch=8))
+        for i in range(3):
+            batcher.enqueue(ServingRequest(i, float(i), i))
+        evicted = batcher.drop_oldest()
+        assert evicted.request_id == 0
+        assert len(batcher) == 2
+        assert [r.request_id for r in batcher.take()] == [1, 2]
+
 
 class TestEventLoop:
     def test_size_bound_groups(self):
@@ -161,8 +189,19 @@ class TestEventLoop:
             def execute(self, queries):
                 return [], 1.0
 
-        with pytest.raises(RuntimeError, match="payloads"):
+        with pytest.raises(ExecutorContractError, match="payloads"):
             simulate_serving(Broken(), build_trace([0.0], ["a"]), BatchPolicy())
+
+    def test_contract_error_names_executor_and_counts(self):
+        class Broken:
+            def execute(self, queries):
+                return [None] * 3, 1.0
+
+        with pytest.raises(ExecutorContractError) as excinfo:
+            simulate_serving(Broken(), build_trace([0.0], ["a"]), BatchPolicy())
+        assert excinfo.value.expected == 1
+        assert excinfo.value.got == 3
+        assert "Broken" in str(excinfo.value)
 
     def test_empty_trace(self):
         report = simulate_serving(StubExecutor(), [], BatchPolicy())
