@@ -12,6 +12,7 @@ from . import (
     fig4_batching,
     observability,
     overload_bench,
+    routing_bench,
     sec8_distributed,
     serving_bench,
     table1_cublas,
@@ -36,6 +37,7 @@ ALL_EXPERIMENTS = {
     "sec8": sec8_distributed,
     "serving": serving_bench,
     "overload": overload_bench,
+    "routing": routing_bench,
     "fault-tolerance": fault_tolerance,
     "observability": observability,
     "backends": backend_bench,
@@ -59,6 +61,7 @@ __all__ = [
     "fig4_batching",
     "observability",
     "overload_bench",
+    "routing_bench",
     "sec8_distributed",
     "serving_bench",
     "table1_cublas",

@@ -73,6 +73,11 @@ _DEADLINE_SWEEPS = _REG.counter(
     "repro_engine_deadline_expired_total",
     "Cache sweeps cut short by an expired request deadline",
 )
+_IMAGES_PRUNED = _REG.counter(
+    "repro_engine_images_pruned_total",
+    "Cached reference images skipped by candidate-routing restriction "
+    "(first-tier pruning, not faults)",
+)
 #: pre-bound children — the sweep loop must not pay label resolution.
 _SWEEP_HIT = _SWEEP_LOOKUPS.labels(result="hit")
 _SWEEP_MISS = _SWEEP_LOOKUPS.labels(result="miss")
@@ -105,13 +110,17 @@ class _SweepOutcome:
 
     ``images_skipped`` counts cached images the sweep never reached
     because the request's deadline expired mid-sweep; ``partial`` is
-    True whenever that count is non-zero.
+    True whenever that count is non-zero.  ``images_pruned`` counts
+    images in batches the candidate restriction excluded — a
+    deliberate first-tier decision that never marks the outcome
+    partial.
     """
 
     per_query_matches: list[list[ImageMatch]]
     images: int
     elapsed_us: float
     images_skipped: int = 0
+    images_pruned: int = 0
 
     @property
     def partial(self) -> bool:
@@ -354,6 +363,7 @@ class TextureSearchEngine:
         batches: Iterable[CachedBatch] | None = None,
         record_stats: bool = True,
         honor_deadline: bool = True,
+        candidate_ids: set[str] | frozenset[str] | None = None,
     ) -> _SweepOutcome:
         """The one batch loop every match path runs on.
 
@@ -363,6 +373,16 @@ class TextureSearchEngine:
         ``batches`` overrides the cache iteration (``verify`` passes a
         transient single-image batch); ``record_stats`` is off for
         sweeps that are not searches.
+
+        ``candidate_ids`` restricts the exact sweep to a routing
+        tier's nominees (:mod:`repro.routing`): a reference batch with
+        no live nominated slot is skipped outright (no H2D staging, no
+        GEMM, no simulated cost) and its images counted into
+        ``images_pruned``; in batches that *are* swept — the GEMM runs
+        at full batch width, the honest cost of the immutable (batch,
+        d, m) layout — matches are filtered to the nominated ids, so
+        results depend only on the candidate set, never on batch
+        co-location.
 
         When a request deadline (:func:`repro.obs.current_deadline`) is
         active, the loop charges the budget with each batch's simulated
@@ -388,10 +408,18 @@ class TextureSearchEngine:
             images = 0
             host_images = 0
             images_skipped = 0
+            images_pruned = 0
             charged_at_us = start_us
             source = self.cache.batches() if batches is None else batches
             traced = _TRACER.enabled
             for cached in source:
+                if candidate_ids is not None and not any(
+                    slot_id in candidate_ids for slot_id in cached.batch.ids
+                ):
+                    # no nominee lives here: the batch is never staged
+                    # or compared, and no simulated time is charged.
+                    images_pruned += cached.batch.size
+                    continue
                 if deadline is not None and deadline.expired:
                     # an expired deadline stops the sweep: remaining
                     # batches are never staged or compared.
@@ -425,10 +453,11 @@ class TextureSearchEngine:
                     # (kernels emit one match per slot, in slot order), then
                     # drop them from every query's list by index.
                     alive: list[int] | None = None
-                    if self._dead_slots:
+                    if self._dead_slots or candidate_ids is not None:
                         alive = [
                             i for i, slot_id in enumerate(batch.ids)
                             if not slot_id.startswith(_DEAD_PREFIX)
+                            and (candidate_ids is None or slot_id in candidate_ids)
                         ]
                         if len(alive) == batch.size:
                             alive = None
@@ -479,36 +508,55 @@ class TextureSearchEngine:
                         _STEP_US.labels(step=name).observe(delta)
             if images_skipped:
                 _DEADLINE_SWEEPS.inc()
+            if images_pruned and record_stats:
+                _IMAGES_PRUNED.inc(images_pruned)
             if sweep_span is not None:
                 sweep_span.set(sim_elapsed_us=elapsed, images=images,
-                               images_skipped=images_skipped)
+                               images_skipped=images_skipped,
+                               images_pruned=images_pruned)
         return _SweepOutcome(
             per_query_matches=per_query,
             images=images,
             elapsed_us=elapsed,
             images_skipped=images_skipped,
+            images_pruned=images_pruned,
         )
 
     # ------------------------------------------------------------------
     # search
     # ------------------------------------------------------------------
-    def search(self, query_descriptors: np.ndarray, keep_masks: bool = False) -> SearchResult:
-        """One-to-many search over every cached reference image."""
+    def search(
+        self,
+        query_descriptors: np.ndarray,
+        keep_masks: bool = False,
+        candidate_ids: set[str] | frozenset[str] | None = None,
+    ) -> SearchResult:
+        """One-to-many search over every cached reference image.
+
+        ``candidate_ids`` (from a :mod:`repro.routing` tier) restricts
+        the sweep to the nominated references — see
+        :meth:`_execute_sweep`; ``None`` keeps the exhaustive path
+        bit-identical to the pre-routing engine.
+        """
         self.flush()
         query = self.kernel.prepare_query(self.device, query_descriptors)
-        outcome = self._execute_sweep(query, n_queries=1, keep_masks=keep_masks)
+        outcome = self._execute_sweep(
+            query, n_queries=1, keep_masks=keep_masks, candidate_ids=candidate_ids
+        )
         return SearchResult(
             matches=outcome.per_query_matches[0],
             elapsed_us=outcome.elapsed_us,
             images_searched=outcome.images,
             partial=outcome.partial,
             images_skipped=outcome.images_skipped,
+            images_pruned=outcome.images_pruned,
         )
 
     def search_group(
         self,
         query_descriptor_list: list[np.ndarray],
         keep_masks: bool = False,
+        candidate_ids: set[str] | frozenset[str] | None = None,
     ) -> GroupSearchResult:
         """Fused query-group search (Sec. 5.3 extension) — the serving
         tier's unit of work.
@@ -533,7 +581,10 @@ class TextureSearchEngine:
         self.flush()
         query = self.kernel.prepare_query_many(self.device, query_descriptor_list)
         n_queries = len(query_descriptor_list)
-        outcome = self._execute_sweep(query, n_queries=n_queries, keep_masks=keep_masks)
+        outcome = self._execute_sweep(
+            query, n_queries=n_queries, keep_masks=keep_masks,
+            candidate_ids=candidate_ids,
+        )
         return GroupSearchResult(
             results=[
                 SearchResult(
@@ -542,6 +593,7 @@ class TextureSearchEngine:
                     images_searched=outcome.images,
                     partial=outcome.partial,
                     images_skipped=outcome.images_skipped,
+                    images_pruned=outcome.images_pruned,
                 )
                 for q in range(n_queries)
             ],
@@ -549,12 +601,19 @@ class TextureSearchEngine:
             images_searched=outcome.images,
             partial=outcome.partial,
             images_skipped=outcome.images_skipped,
+            images_pruned=outcome.images_pruned,
         )
 
-    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
+    def search_many(
+        self,
+        query_descriptor_list: list[np.ndarray],
+        candidate_ids: set[str] | frozenset[str] | None = None,
+    ) -> list[SearchResult]:
         """Query-batched one-to-many search; per-query view of
         :meth:`search_group` (kept for API compatibility)."""
-        return self.search_group(query_descriptor_list).results
+        return self.search_group(
+            query_descriptor_list, candidate_ids=candidate_ids
+        ).results
 
     # ------------------------------------------------------------------
     # verification

@@ -62,7 +62,10 @@ class SearchResult:
     request deadline (:mod:`repro.obs.reqctx`): the reference batches
     it *did* scan produced exactly the matches a full sweep would have
     (same order, same counts), and ``images_skipped`` counts the cached
-    images the sweep never reached.
+    images the sweep never reached.  ``images_pruned`` counts cached
+    images *deliberately* not swept because a candidate-routing tier
+    (:mod:`repro.routing`) restricted the sweep — pruning is a
+    first-tier decision, not a fault, so it never sets ``partial``.
     """
 
     matches: list[ImageMatch] = field(default_factory=list)
@@ -70,6 +73,7 @@ class SearchResult:
     images_searched: int = 0
     partial: bool = False
     images_skipped: int = 0
+    images_pruned: int = 0
 
     def top(self, count: int = 1) -> list[ImageMatch]:
         """Best ``count`` reference images by score (descending)."""
@@ -103,6 +107,7 @@ class GroupSearchResult:
     images_searched: int = 0
     partial: bool = False
     images_skipped: int = 0
+    images_pruned: int = 0
 
     @property
     def group_size(self) -> int:

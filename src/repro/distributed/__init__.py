@@ -20,6 +20,7 @@ from .kvstore import KVStore
 from .loadbalancer import DispatchRecord, WebTier
 from .node import NodeConfig, SearchNode
 from .rest import Request, Response, Router, build_api
+from ..routing import RouterPolicy
 from .sharding import ConsistentHashPlacement, PlacementPolicy, RoundRobinPlacement
 from .serialization import (
     FeatureRecord,
@@ -47,6 +48,7 @@ __all__ = [
     "PlacementPolicy",
     "RetryPolicy",
     "RoundRobinPlacement",
+    "RouterPolicy",
     "DistributedSearchSystem",
     "FeatureRecord",
     "KVStore",

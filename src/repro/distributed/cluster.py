@@ -36,11 +36,13 @@ from ..obs import (
     default_registry,
     default_tracer,
 )
+from ..routing import CandidateRouter, RouteDecision, RouterPolicy
+from ..routing import build_router as _make_router
 from .breaker import BreakerPolicy
 from .health import NodeHealth
 from .kvstore import KVStore
 from .node import NodeConfig, SearchNode
-from .serialization import FeatureRecord, serialize_record
+from .serialization import FeatureRecord, deserialize_record, serialize_record
 
 __all__ = [
     "ClusterGroupResult",
@@ -55,7 +57,7 @@ __all__ = [
 WEB_TIER_OVERHEAD_US = 2000.0
 
 #: version of the ``GET /stats`` payload shape; bump when keys change.
-STATS_SCHEMA_VERSION = 3
+STATS_SCHEMA_VERSION = 4
 
 _REG = default_registry()
 _TRACER = default_tracer()
@@ -91,6 +93,18 @@ _BROWNOUT_SKIPS = _REG.counter(
 _DEADLINE_SKIPS = _REG.counter(
     "repro_cluster_deadline_skipped_shards_total",
     "Populated shards never attempted because the request deadline had expired",
+)
+_UNROUTED_SKIPS = _REG.counter(
+    "repro_cluster_unrouted_shards_total",
+    "Populated shards deliberately not fanned out to because the "
+    "candidate router nominated other shards (pruning, not faults)",
+)
+_ROUTER_HITS = _REG.counter(
+    "repro_router_candidate_hit_total",
+    "Routed searches by whether the pruned gather still produced a "
+    "scoring match (a live proxy for candidate recall; the routing "
+    "bench measures true recall against the exhaustive path)",
+    ("result",),
 )
 _SEARCH_SINGLE = _SEARCHES.labels(kind="single")
 _SEARCH_GROUP = _SEARCHES.labels(kind="group")
@@ -172,6 +186,14 @@ class ClusterSearchResult:
     deadline cut the gather short — whole shards skipped, or per-node
     sweeps truncated mid-scan (the matches on the shards that *were*
     searched are bit-identical to a full search's).
+
+    Routing metadata is kept strictly apart from fault metadata:
+    ``routed`` marks a search whose fan-out was pruned by the
+    candidate router, ``unrouted_shards`` lists populated shards the
+    router deliberately did not nominate (never counted in
+    ``unsearched_shards`` and never setting ``partial`` — pruning is
+    a first-tier decision, not a failure), and ``images_pruned``
+    totals the cached images the nominated shards' engines skipped.
     """
 
     matches: list[ImageMatch]
@@ -182,6 +204,9 @@ class ClusterSearchResult:
     unsearched_shards: list[str] = field(default_factory=list)
     retries: int = 0
     deadline_expired: bool = False
+    routed: bool = False
+    unrouted_shards: list[str] = field(default_factory=list)
+    images_pruned: int = 0
 
     def best(self) -> ImageMatch | None:
         if not self.matches:
@@ -217,6 +242,9 @@ class ClusterGroupResult:
     retries: int = 0
     unsearched_shards: list[str] = field(default_factory=list)
     deadline_expired: bool = False
+    routed: bool = False
+    unrouted_shards: list[str] = field(default_factory=list)
+    images_pruned: int = 0
 
     @property
     def group_size(self) -> int:
@@ -245,6 +273,7 @@ class DistributedSearchSystem:
         fault_injector=None,
         health_policy=None,
         breaker_policy: BreakerPolicy | None = None,
+        router_policy: RouterPolicy | None = None,
     ) -> None:
         if n_nodes < 1:
             raise ClusterError("a cluster needs at least one node")
@@ -255,6 +284,10 @@ class DistributedSearchSystem:
         self.retry_policy = retry_policy or RetryPolicy()
         self.min_shard_fraction = float(min_shard_fraction)
         self.auto_failover = bool(auto_failover)
+        #: two-tier retrieval: ``None`` keeps the exhaustive
+        #: scatter-gather bit-identical to the pre-routing system.
+        self.router_policy = router_policy
+        self._router: CandidateRouter | None = None
         self._node_config = node_config
         self._device_spec = device_spec
         self._health_policy = health_policy
@@ -309,6 +342,8 @@ class DistributedSearchSystem:
             self._placement[ref_id] = node.node_id
         node.add(ref_id, descriptors)
         self.store.hset("placement", ref_id, node.node_id.encode())
+        if self._router is not None:
+            self._router.add(ref_id, record.matrix, node.node_id)
         return node.node_id
 
     def remove(self, ref_id: str) -> bool:
@@ -319,6 +354,8 @@ class DistributedSearchSystem:
         self._node_by_id(node_id).remove(ref_id)
         self.store.delete(f"feature:{ref_id}")
         self.store.hdel("placement", ref_id)
+        if self._router is not None:
+            self._router.remove(ref_id)
         return True
 
     def has(self, ref_id: str) -> bool:
@@ -367,20 +404,95 @@ class DistributedSearchSystem:
         self.nodes.remove(victim)
         self.placement.remove_node(node_id)
         orphaned = [ref for ref, owner in self._placement.items() if owner == node_id]
-        from .serialization import deserialize_record
-
         for ref_id in orphaned:
             blob = self.store.get(f"feature:{ref_id}")
             if blob is None:
                 # record lost with the node: drop the placement entry
                 del self._placement[ref_id]
                 self.store.hdel("placement", ref_id)
+                if self._router is not None:
+                    self._router.remove(ref_id)
                 continue
             node = self._node_by_id(self.placement.place(ref_id))
             node.add_record(deserialize_record(blob))
             self._placement[ref_id] = node.node_id
             self.store.hset("placement", ref_id, node.node_id.encode())
+            if self._router is not None:
+                self._router.reassign(ref_id, node.node_id)
         return len(orphaned)
+
+    # ------------------------------------------------------------------
+    # two-tier retrieval: the coarse candidate-routing tier
+    # ------------------------------------------------------------------
+    def build_router(self) -> CandidateRouter:
+        """(Re)build the coarse routing tier from the system of record.
+
+        The router trains on the raw descriptor records persisted in
+        the KV store (``feature:*``) — the same blobs failover
+        re-hydrates from — pooled to one vector per reference, with
+        shard ownership taken from the live placement map.  References
+        whose blobs were lost with a dead node are unroutable and
+        excluded (they are equally unsearchable by the exhaustive
+        path).  Subsequent :meth:`add` / :meth:`remove` /
+        :meth:`remove_node` calls keep the router's corpus in sync;
+        the routing index itself rebuilds lazily on the next
+        nomination after a mutation.
+        """
+        if self.router_policy is None:
+            raise ClusterError("cluster has no router_policy configured")
+        router = _make_router(self.router_policy, d=self.engine_config.d)
+        for ref_id, node_id in self._placement.items():
+            blob = self.store.get(f"feature:{ref_id}")
+            if blob is None:
+                continue
+            record = deserialize_record(blob)
+            matrix = record.matrix.astype(np.float32)
+            if record.precision == "fp16" and record.scale != 1.0:
+                matrix = matrix / np.float32(record.scale)
+            router.add(ref_id, matrix, node_id)
+        router.fit()
+        self._router = router
+        return router
+
+    @property
+    def router(self) -> CandidateRouter | None:
+        """The active routing tier (``None`` until the first routed
+        search builds it, or when no ``router_policy`` is set)."""
+        return self._router
+
+    def _route(
+        self,
+        queries,
+        group: bool,
+        nprobe: int | None,
+        recall_target: float | None,
+    ) -> RouteDecision | None:
+        """First-tier nomination for one request, or ``None`` when
+        routing is disabled."""
+        if self.router_policy is None:
+            return None
+        if self._router is None:
+            self.build_router()
+        if group:
+            return self._router.nominate_group(queries, nprobe, recall_target)
+        return self._router.nominate(queries, nprobe, recall_target)
+
+    def _partition_routed(
+        self, populated: list[SearchNode], route: RouteDecision | None
+    ) -> tuple[list[SearchNode], list[str], bool]:
+        """Split the populated shard set by the route's nomination.
+
+        Returns ``(nominated_nodes, unrouted_shard_ids, routed)``;
+        an exhaustive (or absent) route nominates everything.
+        """
+        if route is None or route.exhaustive:
+            return populated, [], False
+        shard_set = set(route.shard_ids)
+        nominated = [n for n in populated if n.node_id in shard_set]
+        unrouted = [n.node_id for n in populated if n.node_id not in shard_set]
+        if unrouted:
+            _UNROUTED_SKIPS.inc(len(unrouted))
+        return nominated, unrouted, True
 
     # ------------------------------------------------------------------
     # fault-tolerant scatter-gather
@@ -490,17 +602,34 @@ class DistributedSearchSystem:
         if populated and searched / len(populated) < self.min_shard_fraction:
             raise DegradedClusterError(searched, len(populated), self.min_shard_fraction)
 
-    def search(self, query_descriptors: np.ndarray) -> ClusterSearchResult:
+    def search(
+        self,
+        query_descriptors: np.ndarray,
+        nprobe: int | None = None,
+        recall_target: float | None = None,
+    ) -> ClusterSearchResult:
         """Scatter the query to all serving nodes, gather and rank.
+
+        With a ``router_policy`` configured, the coarse routing tier
+        first nominates candidate shards and per-shard candidate
+        references: only the nominated shards are fanned out to (the
+        rest land in ``unrouted_shards`` — deliberate pruning, never
+        ``partial``), and each nominated shard's engine restricts its
+        exact sweep to the nominated reference batches.  ``nprobe`` /
+        ``recall_target`` override the policy per request.  A router
+        that cannot nominate falls back to the exhaustive fan-out, and
+        a cluster without a policy is bit-identical to the pre-routing
+        system.
 
         Nodes that are down, keep erroring, or exceed the per-attempt
         timeout are skipped after bounded retries: the result comes back
         ``partial=True`` with their shards listed in
         ``unsearched_shards``.  If fewer than ``min_shard_fraction`` of
-        the populated shards answered, :class:`DegradedClusterError` is
-        raised instead.  With ``auto_failover`` enabled, nodes that went
-        ``DOWN`` during the gather are decommissioned afterwards and
-        their shards re-hydrated from the KV store onto the survivors.
+        the *nominated* populated shards answered,
+        :class:`DegradedClusterError` is raised instead.  With
+        ``auto_failover`` enabled, nodes that went ``DOWN`` during the
+        gather are decommissioned afterwards and their shards
+        re-hydrated from the KV store onto the survivors.
         """
         with _TRACER.span("cluster.search", layer="cluster") as span:
             per_node: dict[str, SearchResult] = {}
@@ -509,8 +638,13 @@ class DistributedSearchSystem:
             images = 0
             retries = 0
             unsearched: list[str] = []
+            route = self._route(
+                query_descriptors, group=False,
+                nprobe=nprobe, recall_target=recall_target,
+            )
             populated = self._populated_nodes()
-            targets, brownout_skipped = self._gather_targets(populated)
+            nominated, unrouted, routed = self._partition_routed(populated, route)
+            targets, brownout_skipped = self._gather_targets(nominated)
             deadline = current_deadline()
             fanout = DeadlineFanOut(deadline) if deadline is not None else None
             deadline_skipped: list[str] = []
@@ -524,15 +658,19 @@ class DistributedSearchSystem:
                     _BREAKER_SKIPS.inc()
                     unsearched.append(node.node_id)
                     continue
+                candidates = (
+                    frozenset(route.per_shard.get(node.node_id, ()))
+                    if routed else None
+                )
+                def op(n: SearchNode, c=candidates):
+                    r = n.search(query_descriptors, candidate_ids=c)
+                    return r, r.elapsed_us
+
                 if fanout is not None:
                     with fanout.branch():
-                        result, node_us, node_retries = self._attempt_with_retry(
-                            node, lambda n: (r := n.search(query_descriptors), r.elapsed_us)
-                        )
+                        result, node_us, node_retries = self._attempt_with_retry(node, op)
                 else:
-                    result, node_us, node_retries = self._attempt_with_retry(
-                        node, lambda n: (r := n.search(query_descriptors), r.elapsed_us)
-                    )
+                    result, node_us, node_retries = self._attempt_with_retry(node, op)
                 slowest_us = max(slowest_us, node_us)
                 retries += node_retries
                 if result is None:
@@ -548,11 +686,16 @@ class DistributedSearchSystem:
             if self.auto_failover:
                 self.repair()
             self._record_gather(_SEARCH_SINGLE, retries, unsearched)
+            if routed:
+                hit = any(m.score > 0 for m in matches)
+                _ROUTER_HITS.labels(result="hit" if hit else "miss").inc()
+            images_pruned = sum(r.images_pruned for r in per_node.values())
             if span is not None:
                 span.set(nodes=len(populated), retries=retries,
                          unsearched=len(unsearched),
+                         unrouted=len(unrouted),
                          sim_elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US)
-            self._check_degradation(populated, unsearched)
+            self._check_degradation(nominated, unsearched)
         deadline_expired = bool(deadline_skipped) or any(
             r.partial for r in per_node.values()
         )
@@ -565,9 +708,17 @@ class DistributedSearchSystem:
             unsearched_shards=unsearched,
             retries=retries,
             deadline_expired=deadline_expired,
+            routed=routed,
+            unrouted_shards=unrouted,
+            images_pruned=images_pruned,
         )
 
-    def search_group(self, query_descriptor_list: list[np.ndarray]) -> ClusterGroupResult:
+    def search_group(
+        self,
+        query_descriptor_list: list[np.ndarray],
+        nprobe: int | None = None,
+        recall_target: float | None = None,
+    ) -> ClusterGroupResult:
         """Fused query-group scatter-gather (Sec. 5.3 applied
         cluster-wide) — the serving tier's unit of work.
 
@@ -575,11 +726,15 @@ class DistributedSearchSystem:
         the whole group in one sweep (:meth:`SearchNode.search_many`,
         one RPC and one fault/health gate per shard per group), and
         per-query results are gathered afterwards.  All queries share
-        the group's completion time.  Fault handling matches
-        :meth:`search` at group granularity: a shard that dies
-        mid-group leaves *every* query's result ``partial``, each with
-        its own copy of ``unsearched_shards`` (no shared mutable
-        state between the per-query results).
+        the group's completion time.  With a ``router_policy``, the
+        group's nomination is the *union* of the per-query nominations
+        (:meth:`RouteDecision.merge`) — the group shares one fan-out,
+        so it probes every member's candidates; any member the router
+        could not route falls the whole group back to exhaustive.
+        Fault handling matches :meth:`search` at group granularity: a
+        shard that dies mid-group leaves *every* query's result
+        ``partial``, each with its own copy of ``unsearched_shards``
+        (no shared mutable state between the per-query results).
         """
         if not query_descriptor_list:
             return ClusterGroupResult()
@@ -590,12 +745,18 @@ class DistributedSearchSystem:
             per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
             per_node_all: list[dict[str, SearchResult]] = [dict() for _ in range(n_queries)]
             per_query_images = [0] * n_queries
+            per_query_pruned = [0] * n_queries
             slowest_us = 0.0
             retries = 0
             unsearched: list[str] = []
             truncated = False  # any node answered with a deadline-cut sweep
+            route = self._route(
+                query_descriptor_list, group=True,
+                nprobe=nprobe, recall_target=recall_target,
+            )
             populated = self._populated_nodes()
-            targets, brownout_skipped = self._gather_targets(populated)
+            nominated, unrouted, routed = self._partition_routed(populated, route)
+            targets, brownout_skipped = self._gather_targets(nominated)
             deadline = current_deadline()
             fanout = DeadlineFanOut(deadline) if deadline is not None else None
             deadline_skipped: list[str] = []
@@ -608,8 +769,12 @@ class DistributedSearchSystem:
                     _BREAKER_SKIPS.inc()
                     unsearched.append(node.node_id)
                     continue
-                def op(n: SearchNode):
-                    grouped = n.search_many(query_descriptor_list)
+                candidates = (
+                    frozenset(route.per_shard.get(node.node_id, ()))
+                    if routed else None
+                )
+                def op(n: SearchNode, c=candidates):
+                    grouped = n.search_many(query_descriptor_list, candidate_ids=c)
                     return grouped, max(r.elapsed_us for r in grouped)
 
                 if fanout is not None:
@@ -627,6 +792,7 @@ class DistributedSearchSystem:
                     per_query_matches[q].extend(result.matches)
                     per_node_all[q][node.node_id] = result
                     per_query_images[q] += result.images_searched
+                    per_query_pruned[q] += result.images_pruned
             if fanout is not None:
                 fanout.join()
             unsearched.extend(brownout_skipped)
@@ -634,11 +800,16 @@ class DistributedSearchSystem:
             if self.auto_failover:
                 self.repair()
             self._record_gather(_SEARCH_GROUP, retries, unsearched)
+            if routed:
+                for q in range(n_queries):
+                    hit = any(m.score > 0 for m in per_query_matches[q])
+                    _ROUTER_HITS.labels(result="hit" if hit else "miss").inc()
             if span is not None:
                 span.set(nodes=len(populated), retries=retries,
                          unsearched=len(unsearched),
+                         unrouted=len(unrouted),
                          sim_elapsed_us=slowest_us + WEB_TIER_OVERHEAD_US)
-            self._check_degradation(populated, unsearched)
+            self._check_degradation(nominated, unsearched)
         elapsed = slowest_us + WEB_TIER_OVERHEAD_US
         deadline_expired = bool(deadline_skipped) or truncated
         return ClusterGroupResult(
@@ -652,6 +823,9 @@ class DistributedSearchSystem:
                     unsearched_shards=list(unsearched),  # private copy per query
                     retries=retries,
                     deadline_expired=deadline_expired,
+                    routed=routed,
+                    unrouted_shards=list(unrouted),
+                    images_pruned=per_query_pruned[q],
                 )
                 for q in range(n_queries)
             ],
@@ -659,12 +833,22 @@ class DistributedSearchSystem:
             retries=retries,
             unsearched_shards=list(unsearched),
             deadline_expired=deadline_expired,
+            routed=routed,
+            unrouted_shards=list(unrouted),
+            images_pruned=max(per_query_pruned) if per_query_pruned else 0,
         )
 
-    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[ClusterSearchResult]:
+    def search_many(
+        self,
+        query_descriptor_list: list[np.ndarray],
+        nprobe: int | None = None,
+        recall_target: float | None = None,
+    ) -> list[ClusterSearchResult]:
         """Query-batched scatter-gather; per-query view of
         :meth:`search_group` (kept for API compatibility)."""
-        return self.search_group(query_descriptor_list).results
+        return self.search_group(
+            query_descriptor_list, nprobe=nprobe, recall_target=recall_target
+        ).results
 
     # ------------------------------------------------------------------
     # health / failover
@@ -768,6 +952,34 @@ class DistributedSearchSystem:
                     "repro_cluster_partial_results_total"
                 ),
                 "failovers_total": _REG.value("repro_cluster_failovers_total"),
+            },
+            "routing": {
+                "enabled": self.router_policy is not None,
+                "kind": self.router_policy.kind if self.router_policy else None,
+                "nominations_routed_total": sum(
+                    _REG.value(
+                        "repro_router_nominations_total", kind=k, outcome="routed"
+                    )
+                    for k in ("ivf", "lsh")
+                ),
+                "nominations_exhaustive_total": sum(
+                    _REG.value(
+                        "repro_router_nominations_total", kind=k, outcome="exhaustive"
+                    )
+                    for k in ("ivf", "lsh")
+                ),
+                "candidate_hits_total": _REG.value(
+                    "repro_router_candidate_hit_total", result="hit"
+                ),
+                "candidate_misses_total": _REG.value(
+                    "repro_router_candidate_hit_total", result="miss"
+                ),
+                "unrouted_shards_total": _REG.value(
+                    "repro_cluster_unrouted_shards_total"
+                ),
+                "images_pruned_total": _REG.value(
+                    "repro_engine_images_pruned_total"
+                ),
             },
             "overload": {
                 "shed_reject_new_total": _REG.value(

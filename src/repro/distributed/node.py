@@ -117,10 +117,16 @@ class SearchNode:
     def has(self, ref_id: str) -> bool:
         return self.engine.has_reference(ref_id)
 
-    def search(self, query_descriptors: np.ndarray) -> SearchResult:
+    def search(
+        self,
+        query_descriptors: np.ndarray,
+        candidate_ids: set[str] | frozenset[str] | None = None,
+    ) -> SearchResult:
+        """One shard's sweep; ``candidate_ids`` restricts it to a
+        routing tier's nominees (see :meth:`TextureSearchEngine.search`)."""
         with _TRACER.span("node.search", layer="node", node=self.node_id) as span:
             multiplier = self._gate()
-            result = self.engine.search(query_descriptors)
+            result = self.engine.search(query_descriptors, candidate_ids=candidate_ids)
             if multiplier != 1.0:
                 result.elapsed_us *= multiplier
             self.health.record_success()
@@ -129,7 +135,11 @@ class SearchNode:
                          images=result.images_searched)
         return result
 
-    def search_many(self, query_descriptor_list: list[np.ndarray]) -> list[SearchResult]:
+    def search_many(
+        self,
+        query_descriptor_list: list[np.ndarray],
+        candidate_ids: set[str] | frozenset[str] | None = None,
+    ) -> list[SearchResult]:
         """Query-batched search with the same fault/health gating as
         :meth:`search` (one gate per group — the group is one RPC)."""
         with _TRACER.span(
@@ -137,7 +147,9 @@ class SearchNode:
             node=self.node_id, queries=len(query_descriptor_list),
         ) as span:
             multiplier = self._gate()
-            results = self.engine.search_many(query_descriptor_list)
+            results = self.engine.search_many(
+                query_descriptor_list, candidate_ids=candidate_ids
+            )
             if multiplier != 1.0:
                 for result in results:
                     result.elapsed_us *= multiplier

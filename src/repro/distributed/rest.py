@@ -10,6 +10,7 @@ Routes::
     PUT    /textures/{id}       {"descriptors": [[...], ...]}
     DELETE /textures/{id}
     POST   /search              {"descriptors": [[...], ...], "top": k,
+                                 "nprobe": p?, "recall_target": r?,
                                  "budget_us": t}   # optional deadline
     POST   /search/batch        {"queries": [[[...], ...], ...], "top": k,
                                  "budget_us": t}
@@ -109,6 +110,33 @@ def _parse_budget(body: dict) -> float | None:
     return budget_us
 
 
+def _parse_routing(body: dict) -> tuple[int | None, float | None]:
+    """Optional per-request routing knobs (``nprobe``, ``recall_target``)
+    from the body; both pass through to the cluster's routing tier and
+    are ignored when no router is configured."""
+    nprobe = body.get("nprobe")
+    if nprobe is not None:
+        try:
+            nprobe = int(nprobe)
+        except (TypeError, ValueError) as exc:
+            raise RestError(400, f"'nprobe' must be an integer, got {nprobe!r}") from exc
+        if nprobe < 1:
+            raise RestError(400, f"'nprobe' must be >= 1, got {nprobe}")
+    recall_target = body.get("recall_target")
+    if recall_target is not None:
+        try:
+            recall_target = float(recall_target)
+        except (TypeError, ValueError) as exc:
+            raise RestError(
+                400, f"'recall_target' must be a number, got {recall_target!r}"
+            ) from exc
+        if not 0.0 < recall_target <= 1.0:
+            raise RestError(
+                400, f"'recall_target' must be in (0, 1], got {recall_target}"
+            )
+    return nprobe, recall_target
+
+
 def _parse_descriptors(body: dict, d_expected: int) -> np.ndarray:
     raw = body.get("descriptors")
     if raw is None:
@@ -183,12 +211,17 @@ def build_api(system: DistributedSearchSystem) -> Router:
         if not (1 <= top <= 100):
             raise RestError(400, "'top' must be in [1, 100]")
         budget_us = _parse_budget(request.body)
+        nprobe, recall_target = _parse_routing(request.body)
         try:
             if budget_us is not None:
                 with deadline_scope(budget_us):
-                    result = system.search(matrix)
+                    result = system.search(
+                        matrix, nprobe=nprobe, recall_target=recall_target
+                    )
             else:
-                result = system.search(matrix)
+                result = system.search(
+                    matrix, nprobe=nprobe, recall_target=recall_target
+                )
         except DegradedClusterError as exc:
             raise RestError(503, str(exc)) from exc
         return Response(
@@ -204,6 +237,9 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "partial": result.partial,
                 "unsearched_shards": list(result.unsearched_shards),
                 "deadline_expired": result.deadline_expired,
+                "routed": result.routed,
+                "unrouted_shards": list(result.unrouted_shards),
+                "images_pruned": result.images_pruned,
             },
         )
 
@@ -224,15 +260,20 @@ def build_api(system: DistributedSearchSystem) -> Router:
         if not (1 <= top <= 100):
             raise RestError(400, "'top' must be in [1, 100]")
         budget_us = _parse_budget(request.body)
+        nprobe, recall_target = _parse_routing(request.body)
         matrices = [
             _parse_descriptors({"descriptors": q}, d) for q in raw_queries
         ]
         try:
             if budget_us is not None:
                 with deadline_scope(budget_us):
-                    group = system.search_group(matrices)
+                    group = system.search_group(
+                        matrices, nprobe=nprobe, recall_target=recall_target
+                    )
             else:
-                group = system.search_group(matrices)
+                group = system.search_group(
+                    matrices, nprobe=nprobe, recall_target=recall_target
+                )
         except DegradedClusterError as exc:
             raise RestError(503, str(exc)) from exc
         return Response(
@@ -244,6 +285,8 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "partial": group.partial,
                 "unsearched_shards": list(group.unsearched_shards),
                 "deadline_expired": group.deadline_expired,
+                "routed": group.routed,
+                "unrouted_shards": list(group.unrouted_shards),
                 "queries": [
                     {
                         "results": [
@@ -260,6 +303,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                         "unsearched_shards": list(result.unsearched_shards),
                         "retries": result.retries,
                         "deadline_expired": result.deadline_expired,
+                        "images_pruned": result.images_pruned,
                     }
                     for result in group.results
                 ],

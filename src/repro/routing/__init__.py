@@ -1,0 +1,26 @@
+"""Two-tier retrieval: coarse candidate routing in front of the exact
+per-image 2-NN sweep (FAISS-style IVF / Cascade-Hashing coarse-to-fine).
+
+See :mod:`repro.routing.router` for the protocol and the IVF/LSH
+implementations, and ``docs/routing.md`` for tuning guidance.
+"""
+
+from .router import (
+    CandidateRouter,
+    IvfCandidateRouter,
+    LshCandidateRouter,
+    RouteDecision,
+    RouterPolicy,
+    build_router,
+    pool_descriptors,
+)
+
+__all__ = [
+    "CandidateRouter",
+    "IvfCandidateRouter",
+    "LshCandidateRouter",
+    "RouteDecision",
+    "RouterPolicy",
+    "build_router",
+    "pool_descriptors",
+]

@@ -74,15 +74,29 @@ class SerialEngineExecutor(GroupExecutor):
 class ClusterGroupExecutor(GroupExecutor):
     """Whole-group dispatch across the sharded cluster: one scatter per
     shard serves the entire group, shard sweeps overlap, and per-query
-    partial-result metadata survives in each payload."""
+    partial-result metadata survives in each payload.
+
+    ``nprobe`` / ``recall_target`` pass through to the cluster's
+    candidate-routing tier (no-ops on a router-less cluster), so a
+    serving deployment can pin its accuracy/cost point per executor.
+    """
 
     name = "cluster-fused"
 
-    def __init__(self, system) -> None:
+    def __init__(
+        self,
+        system,
+        nprobe: int | None = None,
+        recall_target: float | None = None,
+    ) -> None:
         self.system = system
+        self.nprobe = nprobe
+        self.recall_target = recall_target
 
     def execute(self, queries: list[Any]) -> tuple[list[Any], float]:
-        group = self.system.search_group(queries)
+        group = self.system.search_group(
+            queries, nprobe=self.nprobe, recall_target=self.recall_target
+        )
         return list(group.results), group.elapsed_us
 
 
@@ -93,9 +107,17 @@ class WebTierBatchExecutor(GroupExecutor):
 
     name = "webtier-batch"
 
-    def __init__(self, tier, top: int = 5) -> None:
+    def __init__(
+        self,
+        tier,
+        top: int = 5,
+        nprobe: int | None = None,
+        recall_target: float | None = None,
+    ) -> None:
         self.tier = tier
         self.top = top
+        self.nprobe = nprobe
+        self.recall_target = recall_target
 
     def execute(self, queries: list[Any]) -> tuple[list[Any], float]:
         # Imported here so repro.serving does not hard-depend on the
@@ -106,6 +128,10 @@ class WebTierBatchExecutor(GroupExecutor):
             "queries": [np.asarray(q).tolist() for q in queries],
             "top": self.top,
         }
+        if self.nprobe is not None:
+            body["nprobe"] = self.nprobe
+        if self.recall_target is not None:
+            body["recall_target"] = self.recall_target
         record = self.tier.handle(Request("POST", "/search/batch", body))
         response = record.response
         if not response.ok:
