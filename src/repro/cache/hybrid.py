@@ -41,6 +41,10 @@ _EVICTIONS = _REG.counter(
     "repro_cache_evictions_total",
     "Batches dropped past the host level (combined capacity exhausted)",
 )
+_REMOVALS = _REG.counter(
+    "repro_cache_removals_total",
+    "Batches explicitly removed from the hybrid cache (enrollment deletes)",
+)
 
 
 class CacheLocation(Enum):
@@ -167,10 +171,42 @@ class HybridFeatureCache:
                 f"hybrid cache exhausted: host level evicted batch(es) {dropped}"
             )
 
+    def remove(self, batch_id: int) -> bool:
+        """Drop a batch from whichever level holds it, releasing its
+        capacity (device allocation freed, budgets credited, id pruned
+        from the FIFO order).  Returns whether the batch was cached.
+
+        This is the delete path of online enrollment: when every slot
+        of a sealed batch is tombstoned the engine purges the whole
+        batch, which keeps swap accounting batch-granular — capacity is
+        only ever released in whole-batch units, never per-slot.
+        """
+        removed = False
+        if batch_id in self._gpu:
+            old = self._gpu.pop(batch_id).value
+            if old.gpu_allocation is not None:
+                self.device.free(old.gpu_allocation)
+                old.gpu_allocation = None
+            removed = True
+        elif batch_id in self._host:
+            self._host.pop(batch_id)
+            removed = True
+        if batch_id in self._order:
+            self._order.remove(batch_id)
+        if removed:
+            _REMOVALS.inc()
+        return removed
+
     # ------------------------------------------------------------------
     def batches(self) -> Iterator[CachedBatch]:
-        """All cached batches in global FIFO order."""
-        for batch_id in self._order:
+        """All cached batches in global FIFO order.
+
+        Iterates a snapshot of the order taken at call time, so a sweep
+        already in flight keeps a consistent view of the corpus even if
+        enrollments land (or deletes purge batches) between batches —
+        the sweep covers the corpus as of sweep start.
+        """
+        for batch_id in list(self._order):
             if batch_id in self._gpu:
                 yield self._gpu.get(batch_id)
             elif batch_id in self._host:

@@ -183,6 +183,11 @@ class TextureSearchEngine:
         #: cost) but its matches are dropped from results.
         self._locations: dict[str, tuple[ReferenceBatch | None, int]] = {}
         self._dead_slots = 0
+        #: sealed batch id -> count of tombstoned slots.  When every
+        #: slot of a batch is dead the whole batch is purged from the
+        #: cache (capacity released in whole-batch units — swap
+        #: accounting stays batch-granular).
+        self._dead_in_batch: dict[int, int] = {}
         #: images_compared as of the last :meth:`reset_profile`, so
         #: profile-report means cover only the profiled window.
         self._images_at_profile_reset = 0
@@ -223,8 +228,21 @@ class TextureSearchEngine:
         self.stats.references += 1
 
     def _seal(self, batch: ReferenceBatch) -> None:
-        """Install a completed batch and repoint its slots' locations."""
+        """Install a completed batch and repoint its slots' locations.
+
+        A batch whose every slot was tombstoned while still pending is
+        never cached at all — there is nothing live to sweep; partially
+        dead batches seed the per-batch dead count so later deletes can
+        purge them once the last live slot goes.
+        """
+        dead = sum(
+            1 for slot_id in batch.ids if slot_id.startswith(_DEAD_PREFIX)
+        )
+        if dead >= batch.size:
+            return
         self.cache.add(batch)
+        if dead:
+            self._dead_in_batch[batch.batch_id] = dead
         for idx, slot_id in enumerate(batch.ids):
             if slot_id in self._locations:
                 self._locations[slot_id] = (batch, idx)
@@ -324,6 +342,14 @@ class TextureSearchEngine:
             self._builder.rename(slot, marker)
         else:
             batch.ids[slot] = marker
+            dead = self._dead_in_batch.get(batch.batch_id, 0) + 1
+            if dead >= batch.size:
+                # every slot is tombstoned: purge the whole batch so the
+                # cache releases its capacity (batch-granular, like swap)
+                self.cache.remove(batch.batch_id)
+                self._dead_in_batch.pop(batch.batch_id, None)
+            else:
+                self._dead_in_batch[batch.batch_id] = dead
         return True
 
     def has_reference(self, ref_id: str) -> bool:

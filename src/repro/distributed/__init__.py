@@ -3,10 +3,13 @@ serialization, a Redis-like KV store, GPU container nodes, the sharded
 scatter-gather cluster, the RESTful API layer, and the fault-tolerance
 layer (health states, deterministic fault injection, retries and
 partial-result degradation), plus the overload-protection layer
-(admission control, circuit breakers, brownout)."""
+(admission control, circuit breakers, brownout) and the online
+enrollment layer (per-shard index epochs, tombstones,
+read-your-writes acks)."""
 
 from .admission import AdmissionPolicy, TokenBucket
 from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
+from .enrollment import DeletionAck, EnrollmentAck, EpochRegistry, TombstoneLog
 from .cluster import (
     ClusterGroupResult,
     ClusterSearchResult,
@@ -37,6 +40,10 @@ __all__ = [
     "CircuitBreaker",
     "ClusterGroupResult",
     "ClusterSearchResult",
+    "DeletionAck",
+    "EnrollmentAck",
+    "EpochRegistry",
+    "TombstoneLog",
     "TokenBucket",
     "ConsistentHashPlacement",
     "DispatchRecord",

@@ -39,6 +39,13 @@ from ..obs import (
 from ..routing import CandidateRouter, RouteDecision, RouterPolicy
 from ..routing import build_router as _make_router
 from .breaker import BreakerPolicy
+from .enrollment import (
+    DeletionAck,
+    EnrollmentAck,
+    EpochRegistry,
+    TombstoneLog,
+    count_op,
+)
 from .health import NodeHealth
 from .kvstore import KVStore
 from .node import NodeConfig, SearchNode
@@ -57,7 +64,7 @@ __all__ = [
 WEB_TIER_OVERHEAD_US = 2000.0
 
 #: version of the ``GET /stats`` payload shape; bump when keys change.
-STATS_SCHEMA_VERSION = 4
+STATS_SCHEMA_VERSION = 5
 
 _REG = default_registry()
 _TRACER = default_tracer()
@@ -207,6 +214,12 @@ class ClusterSearchResult:
     routed: bool = False
     unrouted_shards: list[str] = field(default_factory=list)
     images_pruned: int = 0
+    #: index epoch each answering shard's corpus was at while it was
+    #: searched — the read-your-writes handle: a client holding an
+    #: :class:`~repro.distributed.enrollment.EnrollmentAck` checks
+    #: ``corpus_epoch[ack.node_id] >= ack.epoch`` to confirm the search
+    #: observed its enrollment.
+    corpus_epoch: dict[str, int] = field(default_factory=dict)
 
     def best(self) -> ImageMatch | None:
         if not self.matches:
@@ -245,6 +258,9 @@ class ClusterGroupResult:
     routed: bool = False
     unrouted_shards: list[str] = field(default_factory=list)
     images_pruned: int = 0
+    #: shard -> index epoch observed during the gather (see
+    #: :attr:`ClusterSearchResult.corpus_epoch`).
+    corpus_epoch: dict[str, int] = field(default_factory=dict)
 
     @property
     def group_size(self) -> int:
@@ -281,6 +297,11 @@ class DistributedSearchSystem:
             raise ClusterError("min_shard_fraction must be in [0, 1]")
         self.engine_config = engine_config or EngineConfig(m=384, n=768)
         self.store = store or KVStore()
+        #: durable per-shard epoch marks + deletion tombstones (the
+        #: epoched-corpus contract lives in the KV store, like the
+        #: feature blobs it protects).
+        self.epochs = EpochRegistry(self.store)
+        self.tombstones = TombstoneLog(self.store)
         self.retry_policy = retry_policy or RetryPolicy()
         self.min_shard_fraction = float(min_shard_fraction)
         self.auto_failover = bool(auto_failover)
@@ -301,6 +322,10 @@ class DistributedSearchSystem:
             )
             for i in range(n_nodes)
         ]
+        for node in self.nodes:
+            # a rebuilt cluster over a pre-existing store continues each
+            # shard's epoch sequence instead of restarting from zero
+            node.epoch = self.epochs.get(node.node_id)
         from .sharding import ConsistentHashPlacement, RoundRobinPlacement
 
         node_ids = [node.node_id for node in self.nodes]
@@ -342,21 +367,81 @@ class DistributedSearchSystem:
             self._placement[ref_id] = node.node_id
         node.add(ref_id, descriptors)
         self.store.hset("placement", ref_id, node.node_id.encode())
+        # the blob supersedes any earlier delete of this id; clearing
+        # the tombstone makes re-enrollment a fresh logical record
+        self.tombstones.clear(ref_id)
+        self.epochs.record(node.node_id, node.epoch)
         if self._router is not None:
             self._router.add(ref_id, record.matrix, node.node_id)
         return node.node_id
+
+    def enroll(self, ref_id: str, descriptors: np.ndarray) -> EnrollmentAck:
+        """Online enrollment under live traffic; returns an ack whose
+        ``epoch`` gives the client read-your-writes (see
+        :attr:`ClusterSearchResult.corpus_epoch`).
+
+        Unlike bulk :meth:`add`, the target shard's fault gate runs
+        *before* anything is persisted: a crashed or flaky node raises
+        (:class:`~repro.errors.NodeDownError` /
+        :class:`~repro.errors.TransientNodeError`) and neither the KV
+        store nor the placement map mutates — the client can retry,
+        and after auto-failover the retry lands on a healthy owner.
+        """
+        ref_id = str(ref_id)
+        with _TRACER.span("enroll", layer="cluster", ref=ref_id, op="enroll") as span:
+            updated = ref_id in self._placement
+            # peek, don't place: the gate must run against the node
+            # add() will commit to, and round-robin's place() consumes
+            # its cursor
+            target = self._placement.get(ref_id) or self.placement.peek(ref_id)
+            node = self._node_by_id(target)
+            node._gate()
+            node_id = self.add(ref_id, descriptors)
+            epoch = self.epochs.get(node_id)
+            count_op("update" if updated else "enroll")
+            if span is not None:
+                span.set(node=node_id, epoch=epoch, updated=updated)
+        return EnrollmentAck(
+            ref_id=ref_id, node_id=node_id, epoch=epoch, updated=updated
+        )
 
     def remove(self, ref_id: str) -> bool:
         ref_id = str(ref_id)
         node_id = self._placement.pop(ref_id, None)
         if node_id is None:
             return False
-        self._node_by_id(node_id).remove(ref_id)
+        node = self._node_by_id(node_id)
+        # tombstone first: whatever replays after a crash from here on
+        # (re-hydration, warm restore, cache warming) sees the delete
+        self.tombstones.mark(ref_id, node_id, node.epoch + 1)
+        node.remove(ref_id)
+        self.epochs.record(node_id, node.epoch)
         self.store.delete(f"feature:{ref_id}")
         self.store.hdel("placement", ref_id)
         if self._router is not None:
             self._router.remove(ref_id)
         return True
+
+    def delete(self, ref_id: str) -> DeletionAck:
+        """Online deletion; idempotent (deleting an unknown id still
+        writes a tombstone so a racing re-hydration of a stale blob
+        cannot resurrect it)."""
+        ref_id = str(ref_id)
+        with _TRACER.span("enroll", layer="cluster", ref=ref_id, op="delete") as span:
+            owner = self._placement.get(ref_id)
+            if owner is not None:
+                deleted = self.remove(ref_id)
+                epoch = self.epochs.get(owner)
+            else:
+                self.tombstones.mark(ref_id, "", 0)
+                deleted = False
+                epoch = 0
+            count_op("delete")
+            if span is not None:
+                span.set(node=owner or "", epoch=epoch, deleted=deleted)
+        return DeletionAck(
+            ref_id=ref_id, node_id=owner or "", epoch=epoch, deleted=deleted
+        )
 
     def has(self, ref_id: str) -> bool:
         return str(ref_id) in self._placement
@@ -384,6 +469,7 @@ class DistributedSearchSystem:
             breaker_policy=self._breaker_policy,
         )
         self._node_seq += 1
+        node.epoch = self.epochs.get(node.node_id)
         if self.fault_injector is not None:
             node.fault_injector = self.fault_injector
         self.nodes.append(node)
@@ -404,10 +490,14 @@ class DistributedSearchSystem:
         self.nodes.remove(victim)
         self.placement.remove_node(node_id)
         orphaned = [ref for ref, owner in self._placement.items() if owner == node_id]
+        adopters: set[str] = set()
         for ref_id in orphaned:
             blob = self.store.get(f"feature:{ref_id}")
-            if blob is None:
-                # record lost with the node: drop the placement entry
+            if blob is None or self.tombstones.contains(ref_id):
+                # record lost with the node — or deleted while the node
+                # was dying (the tombstone outlives the blob, so a
+                # stale blob can never resurrect a deleted reference):
+                # drop the placement entry either way
                 del self._placement[ref_id]
                 self.store.hdel("placement", ref_id)
                 if self._router is not None:
@@ -417,8 +507,15 @@ class DistributedSearchSystem:
             node.add_record(deserialize_record(blob))
             self._placement[ref_id] = node.node_id
             self.store.hset("placement", ref_id, node.node_id.encode())
+            adopters.add(node.node_id)
             if self._router is not None:
                 self._router.reassign(ref_id, node.node_id)
+        # adopting shards advanced their epochs (re-hydration is a
+        # mutation of their reference sets); the dead shard's mark is
+        # retired with it
+        for adopter_id in sorted(adopters):
+            self.epochs.record(adopter_id, self._node_by_id(adopter_id).epoch)
+        self.epochs.forget(node_id)
         return len(orphaned)
 
     # ------------------------------------------------------------------
@@ -634,6 +731,7 @@ class DistributedSearchSystem:
         with _TRACER.span("cluster.search", layer="cluster") as span:
             per_node: dict[str, SearchResult] = {}
             matches: list[ImageMatch] = []
+            epochs_seen: dict[str, int] = {}
             slowest_us = 0.0
             images = 0
             retries = 0
@@ -677,6 +775,7 @@ class DistributedSearchSystem:
                     unsearched.append(node.node_id)
                     continue
                 per_node[node.node_id] = result
+                epochs_seen[node.node_id] = node.epoch
                 matches.extend(result.matches)
                 images += result.images_searched
             if fanout is not None:
@@ -711,6 +810,7 @@ class DistributedSearchSystem:
             routed=routed,
             unrouted_shards=unrouted,
             images_pruned=images_pruned,
+            corpus_epoch=epochs_seen,
         )
 
     def search_group(
@@ -744,6 +844,7 @@ class DistributedSearchSystem:
         ) as span:
             per_query_matches: list[list[ImageMatch]] = [[] for _ in range(n_queries)]
             per_node_all: list[dict[str, SearchResult]] = [dict() for _ in range(n_queries)]
+            epochs_seen: dict[str, int] = {}
             per_query_images = [0] * n_queries
             per_query_pruned = [0] * n_queries
             slowest_us = 0.0
@@ -787,6 +888,7 @@ class DistributedSearchSystem:
                 if grouped is None:
                     unsearched.append(node.node_id)
                     continue
+                epochs_seen[node.node_id] = node.epoch
                 for q, result in enumerate(grouped):
                     truncated = truncated or result.partial
                     per_query_matches[q].extend(result.matches)
@@ -826,6 +928,7 @@ class DistributedSearchSystem:
                     routed=routed,
                     unrouted_shards=list(unrouted),
                     images_pruned=per_query_pruned[q],
+                    corpus_epoch=dict(epochs_seen),  # private copy per query
                 )
                 for q in range(n_queries)
             ],
@@ -836,6 +939,7 @@ class DistributedSearchSystem:
             routed=routed,
             unrouted_shards=list(unrouted),
             images_pruned=max(per_query_pruned) if per_query_pruned else 0,
+            corpus_epoch=dict(epochs_seen),
         )
 
     def search_many(
@@ -979,6 +1083,32 @@ class DistributedSearchSystem:
                 ),
                 "images_pruned_total": _REG.value(
                     "repro_engine_images_pruned_total"
+                ),
+            },
+            "enrollment": {
+                "enrolls_total": _REG.value(
+                    "repro_enrollment_ops_total", op="enroll"
+                ),
+                "updates_total": _REG.value(
+                    "repro_enrollment_ops_total", op="update"
+                ),
+                "deletes_total": _REG.value(
+                    "repro_enrollment_ops_total", op="delete"
+                ),
+                "tombstones_live": len(self.tombstones),
+                "epochs": self.epochs.snapshot(),
+                "cache_removals_total": _REG.value("repro_cache_removals_total"),
+                "router_refresh_incremental_total": sum(
+                    _REG.value(
+                        "repro_router_refresh_total", kind=k, mode="incremental"
+                    )
+                    for k in ("ivf", "lsh")
+                ),
+                "router_refresh_rebuild_total": sum(
+                    _REG.value(
+                        "repro_router_refresh_total", kind=k, mode="rebuild"
+                    )
+                    for k in ("ivf", "lsh")
                 ),
             },
             "overload": {

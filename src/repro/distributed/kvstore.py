@@ -21,6 +21,9 @@ class KVStore:
     def __init__(self) -> None:
         self._strings: dict[str, bytes] = {}
         self._hashes: dict[str, dict[str, bytes]] = {}
+        #: per string-key write counter; version 0 means "never written"
+        #: (or deleted), so a fresh create acks as version 1.
+        self._versions: dict[str, int] = {}
         self._lock = threading.RLock()
         self._read_fault = None
 
@@ -39,7 +42,9 @@ class KVStore:
         if not isinstance(value, (bytes, bytearray)):
             raise TypeError("values must be bytes")
         with self._lock:
-            self._strings[str(key)] = bytes(value)
+            name = str(key)
+            self._strings[name] = bytes(value)
+            self._versions[name] = self._versions.get(name, 0) + 1
 
     def get(self, key: str) -> bytes | None:
         if self._read_fault is not None and self._read_fault(str(key)):
@@ -51,9 +56,13 @@ class KVStore:
         removed = 0
         with self._lock:
             for key in keys:
-                if self._strings.pop(str(key), None) is not None:
+                name = str(key)
+                if self._strings.pop(name, None) is not None:
                     removed += 1
-                if self._hashes.pop(str(key), None) is not None:
+                    # versions stay monotonic across delete/re-create so
+                    # a stale writer can never CAS onto a recycled key
+                    self._versions[name] = self._versions.get(name, 0) + 1
+                if self._hashes.pop(name, None) is not None:
                     removed += 1
         return removed
 
@@ -68,10 +77,63 @@ class KVStore:
 
     def incr(self, key: str, amount: int = 1) -> int:
         with self._lock:
-            current = int(self._strings.get(str(key), b"0"))
+            name = str(key)
+            current = int(self._strings.get(name, b"0"))
             current += int(amount)
-            self._strings[str(key)] = str(current).encode()
+            self._strings[name] = str(current).encode()
+            self._versions[name] = self._versions.get(name, 0) + 1
             return current
+
+    # -- versioned writes -------------------------------------------------
+    def version(self, key: str) -> int:
+        """Current write-version of a string key.
+
+        Monotonic per key across overwrites *and* deletes; ``0`` means
+        the key has never been written.  A missing-but-once-written key
+        keeps its counter so stale writers cannot CAS onto a recycled
+        key (no ABA).
+        """
+        with self._lock:
+            return self._versions.get(str(key), 0)
+
+    def set_versioned(self, key: str, value: bytes, expected_version: int) -> int:
+        """Write ``value`` iff the key is still at ``expected_version``.
+
+        Returns the new version on success; raises
+        :class:`~repro.errors.KVConflictError` when another writer got
+        there first.  ``expected_version=0`` means "create only" — the
+        key must never have been written.
+        """
+        from ..errors import KVConflictError
+
+        if not isinstance(value, (bytes, bytearray)):
+            raise TypeError("values must be bytes")
+        with self._lock:
+            name = str(key)
+            actual = self._versions.get(name, 0)
+            if actual != int(expected_version):
+                raise KVConflictError(name, int(expected_version), actual)
+            self._strings[name] = bytes(value)
+            self._versions[name] = actual + 1
+            return actual + 1
+
+    def cas(self, key: str, expected: bytes | None, new: bytes) -> bool:
+        """Compare-and-set on the stored *bytes*: write ``new`` iff the
+        current value equals ``expected`` (``None`` = key absent).
+        Returns whether the swap happened."""
+        if not isinstance(new, (bytes, bytearray)):
+            raise TypeError("values must be bytes")
+        if expected is not None and not isinstance(expected, (bytes, bytearray)):
+            raise TypeError("expected must be bytes or None")
+        with self._lock:
+            name = str(key)
+            current = self._strings.get(name)
+            want = None if expected is None else bytes(expected)
+            if current != want:
+                return False
+            self._strings[name] = bytes(new)
+            self._versions[name] = self._versions.get(name, 0) + 1
+            return True
 
     # -- hash commands ---------------------------------------------------
     def hset(self, key: str, field: str, value: bytes) -> None:
@@ -110,6 +172,7 @@ class KVStore:
         with self._lock:
             self._strings.clear()
             self._hashes.clear()
+            self._versions.clear()
 
     def dbsize(self) -> int:
         with self._lock:
@@ -172,4 +235,7 @@ class KVStore:
         with self._lock:
             self._strings = strings
             self._hashes = hashes
+            # snapshots predate the version ledger: every restored key
+            # re-enters at version 1, as if freshly created
+            self._versions = {name: 1 for name in strings}
         return count

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+import numpy as np
+
 from ..obs import brownout_scope, default_registry, default_tracer
 from .admission import AdmissionPolicy, TokenBucket
 from .cluster import DistributedSearchSystem, WEB_TIER_OVERHEAD_US
@@ -187,6 +189,24 @@ class WebTier:
         """Health-check the cluster through a web worker (the probe is
         a real request: it is load-balanced and charged like any other)."""
         return self.handle(Request("GET", "/health")).response
+
+    def enroll(self, ref_id: str, descriptors) -> Response:
+        """Online enrollment through a web worker (``POST /enroll``).
+
+        Mutations bypass admission control — shedding an enrollment
+        saves a few hundred µs and loses data — but are load-balanced
+        and charged to a worker clock like any other request.
+        """
+        body = {
+            "id": str(ref_id),
+            "descriptors": np.asarray(descriptors, dtype=np.float32).tolist(),
+        }
+        return self.handle(Request("POST", "/enroll", body)).response
+
+    def delete_reference(self, ref_id: str) -> Response:
+        """Online deletion through a web worker
+        (``DELETE /reference/{id}``); idempotent."""
+        return self.handle(Request("DELETE", f"/reference/{ref_id}")).response
 
     def makespan_us(self) -> float:
         """Completion time of the busiest worker."""

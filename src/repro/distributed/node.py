@@ -72,6 +72,13 @@ class SearchNode:
         #: optional :class:`~repro.distributed.faults.FaultInjector`
         #: consulted on every search-path operation.
         self.fault_injector = None
+        #: monotonic index epoch of this shard's reference set; every
+        #: corpus mutation (enroll/update/delete) advances it.  The
+        #: cluster seeds it from the durable
+        #: :class:`~repro.distributed.enrollment.EpochRegistry` so a
+        #: replacement node continues the sequence instead of
+        #: restarting from zero.
+        self.epoch = 0
 
     # ------------------------------------------------------------------
     # fault gating
@@ -98,6 +105,16 @@ class SearchNode:
     # ------------------------------------------------------------------
     def add(self, ref_id: str, descriptors: np.ndarray) -> None:
         self.engine.add_reference(ref_id, descriptors)
+        self.epoch += 1
+
+    def enroll(self, ref_id: str, descriptors: np.ndarray) -> int:
+        """Online enrollment: add (or update) one reference while the
+        node may be serving searches; returns the shard's new index
+        epoch.  Goes through the fault gate — a crashed node cannot
+        ack an enrollment."""
+        self._gate()
+        self.add(ref_id, descriptors)
+        return self.epoch
 
     def add_record(self, record: FeatureRecord) -> None:
         """Enrol a deserialized KV record.
@@ -112,7 +129,10 @@ class SearchNode:
         self.add(record.ref_id, matrix)
 
     def remove(self, ref_id: str) -> bool:
-        return self.engine.remove_reference(ref_id)
+        removed = self.engine.remove_reference(ref_id)
+        if removed:
+            self.epoch += 1
+        return removed
 
     def has(self, ref_id: str) -> bool:
         return self.engine.has_reference(ref_id)
@@ -176,6 +196,7 @@ class SearchNode:
         beat = {
             "node_id": self.node_id,
             "references": self.n_references,
+            "epoch": self.epoch,
             **self.health.snapshot(),
         }
         if self.breaker is not None:
@@ -183,13 +204,23 @@ class SearchNode:
         return beat
 
     def hydrate_from_store(self, store: KVStore, keys: list[str]) -> int:
-        """Load serialized feature records from the KV store."""
+        """Load serialized feature records from the KV store.
+
+        Tombstoned references (``tombstone:<ref_id>`` keys in the same
+        store) are skipped: a delete that raced this node's hydration
+        must never resurrect through an older feature blob.
+        """
+        from .enrollment import TOMBSTONE_PREFIX
+
         loaded = 0
         for key in keys:
             blob = store.get(key)
             if blob is None:
                 continue
-            self.add_record(deserialize_record(blob))
+            record = deserialize_record(blob)
+            if store.exists(f"{TOMBSTONE_PREFIX}{record.ref_id}"):
+                continue
+            self.add_record(record)
             loaded += 1
         return loaded
 
@@ -210,13 +241,23 @@ class SearchNode:
         return len(records)
 
     def restore_from_store(self, store: KVStore, prefix: str | None = None) -> int:
-        """Warm-restart: re-enrol a :meth:`snapshot_to_store` snapshot."""
+        """Warm-restart: re-enrol a :meth:`snapshot_to_store` snapshot.
+
+        References deleted *after* the snapshot was taken (tombstones
+        in the same store) stay deleted — the snapshot replays to the
+        latest epoch's view, not the snapshot's.
+        """
+        from .enrollment import TOMBSTONE_PREFIX
+
         prefix = prefix if prefix is not None else f"snapshot:{self.node_id}:"
         records = []
         for key in store.keys(f"{prefix}*"):
             blob = store.get(key)
             if blob is not None:
-                records.append(deserialize_record(blob))
+                record = deserialize_record(blob)
+                if store.exists(f"{TOMBSTONE_PREFIX}{record.ref_id}"):
+                    continue
+                records.append(record)
         return self.engine.import_records(records)
 
     # ------------------------------------------------------------------
@@ -236,6 +277,7 @@ class SearchNode:
             "health": self.health.state.value,
             "breaker": self.breaker.state.value if self.breaker else "disabled",
             "references": self.n_references,
+            "epoch": self.epoch,
             "capacity_images": self.capacity_images(),
             "gpu_cache_bytes": gpu_used,
             "host_cache_bytes": host_used,

@@ -9,6 +9,8 @@ Routes::
     GET    /textures/{id}
     PUT    /textures/{id}       {"descriptors": [[...], ...]}
     DELETE /textures/{id}
+    POST   /enroll              {"id": ..., "descriptors": [[...], ...]}
+    DELETE /reference/{id}
     POST   /search              {"descriptors": [[...], ...], "top": k,
                                  "nprobe": p?, "recall_target": r?,
                                  "budget_us": t}   # optional deadline
@@ -17,6 +19,13 @@ Routes::
     GET    /stats
     GET    /health
     GET    /metrics
+
+``POST /enroll`` and ``DELETE /reference/{id}`` are the *online*
+mutation path: responses carry the shard's new index ``epoch`` (the
+read-your-writes handle — search responses echo a ``corpus_epoch``
+map to compare against), a crashed target shard answers 503 without
+mutating anything, and deletes are idempotent (a tombstone is written
+even for unknown ids so stale blobs can never resurrect).
 
 Descriptor payloads are ``(d, count)`` nested lists (what a JSON body
 would carry).  No sockets are involved — the web tier of the paper's
@@ -31,7 +40,12 @@ from typing import Callable
 
 import numpy as np
 
-from ..errors import DegradedClusterError, RestError
+from ..errors import (
+    DegradedClusterError,
+    NodeDownError,
+    RestError,
+    TransientNodeError,
+)
 from ..obs import deadline_scope
 from .cluster import DistributedSearchSystem
 
@@ -174,7 +188,48 @@ def build_api(system: DistributedSearchSystem) -> Router:
         node_id = system.add(ref_id, matrix)
         return Response(
             200 if existed else 201,
-            {"id": ref_id, "node": node_id, "updated": existed},
+            {
+                "id": ref_id, "node": node_id, "updated": existed,
+                "epoch": system.epochs.get(node_id),
+            },
+        )
+
+    @router.route("POST", "/enroll")
+    def enroll(request: Request) -> Response:
+        """Online enrollment: like ``POST /textures`` but through the
+        epoched mutation path — the response's ``epoch`` is the
+        read-your-writes handle, and a crashed/flaky target shard
+        answers 503 (retryable) with nothing mutated."""
+        ref_id = _check_id(str(request.body.get("id", "")))
+        matrix = _parse_descriptors(request.body, d)
+        try:
+            ack = system.enroll(ref_id, matrix)
+        except (NodeDownError, TransientNodeError) as exc:
+            raise RestError(503, f"enrollment unavailable: {exc}") from exc
+        return Response(
+            200 if ack.updated else 201,
+            {
+                "id": ack.ref_id,
+                "node": ack.node_id,
+                "epoch": ack.epoch,
+                "updated": ack.updated,
+            },
+        )
+
+    @router.route("DELETE", "/reference/{ref_id}")
+    def delete_reference(request: Request, ref_id: str) -> Response:
+        """Online deletion; idempotent — deleting an unknown id still
+        writes the tombstone and answers 200 with ``deleted: false``."""
+        ref_id = _check_id(ref_id)
+        ack = system.delete(ref_id)
+        return Response(
+            200,
+            {
+                "id": ack.ref_id,
+                "node": ack.node_id,
+                "epoch": ack.epoch,
+                "deleted": ack.deleted,
+            },
         )
 
     @router.route("GET", "/textures/{ref_id}")
@@ -195,14 +250,24 @@ def build_api(system: DistributedSearchSystem) -> Router:
             raise RestError(404, f"texture {ref_id!r} not found")
         matrix = _parse_descriptors(request.body, d)
         node_id = system.add(ref_id, matrix)
-        return Response(200, {"id": ref_id, "node": node_id, "updated": True})
+        return Response(
+            200,
+            {
+                "id": ref_id, "node": node_id, "updated": True,
+                "epoch": system.epochs.get(node_id),
+            },
+        )
 
     @router.route("DELETE", "/textures/{ref_id}")
     def delete_texture(request: Request, ref_id: str) -> Response:
         ref_id = _check_id(ref_id)
-        if not system.remove(ref_id):
+        if not system.has(ref_id):
             raise RestError(404, f"texture {ref_id!r} not found")
-        return Response(200, {"id": ref_id, "deleted": True})
+        ack = system.delete(ref_id)
+        return Response(
+            200,
+            {"id": ref_id, "deleted": ack.deleted, "epoch": ack.epoch},
+        )
 
     @router.route("POST", "/search")
     def search(request: Request) -> Response:
@@ -240,6 +305,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "routed": result.routed,
                 "unrouted_shards": list(result.unrouted_shards),
                 "images_pruned": result.images_pruned,
+                "corpus_epoch": dict(result.corpus_epoch),
             },
         )
 
@@ -287,6 +353,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "deadline_expired": group.deadline_expired,
                 "routed": group.routed,
                 "unrouted_shards": list(group.unrouted_shards),
+                "corpus_epoch": dict(group.corpus_epoch),
                 "queries": [
                     {
                         "results": [
@@ -304,6 +371,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                         "retries": result.retries,
                         "deadline_expired": result.deadline_expired,
                         "images_pruned": result.images_pruned,
+                        "corpus_epoch": dict(result.corpus_epoch),
                     }
                     for result in group.results
                 ],

@@ -32,6 +32,13 @@ class PlacementPolicy:
         changes)."""
         raise NotImplementedError
 
+    def peek(self, ref_id: str) -> str:
+        """Node :meth:`place` would pick for ``ref_id``, without
+        consuming any placement state — callers that must inspect the
+        target before committing (gate-before-mutate enrollment) peek
+        first, then place."""
+        return self.place(ref_id)
+
 
 class RoundRobinPlacement(PlacementPolicy):
     """The paper's equal-allocation policy (stateful cursor)."""
@@ -56,6 +63,12 @@ class RoundRobinPlacement(PlacementPolicy):
         node = self._nodes[self._cursor]
         self._cursor = (self._cursor + 1) % len(self._nodes)
         return node
+
+    def peek(self, ref_id: str) -> str:
+        # the cursor does not advance: the next place() returns this
+        if not self._nodes:
+            raise ValueError("no nodes registered")
+        return self._nodes[self._cursor]
 
 
 def _ring_hash(value: str) -> int:

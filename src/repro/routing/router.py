@@ -88,6 +88,12 @@ _OVERHEAD_US = _REG.histogram(
     "tier runs on the web tier, outside the simulated GPU clock)",
     ("kind",),
 )
+_REFRESHES = _REG.counter(
+    "repro_router_refresh_total",
+    "Routing-index refreshes: incremental absorb/retract of one "
+    "reference vs a full rebuild of the coarse structure",
+    ("kind", "mode"),
+)
 
 
 def pool_descriptors(descriptors: np.ndarray) -> np.ndarray:
@@ -169,6 +175,10 @@ class RouteDecision:
     per_shard: dict[str, list[str]] = field(default_factory=dict)
     nprobe_used: int = 0
     exhaustive: bool = False
+    #: router mutation epoch the nomination was computed against —
+    #: enrolment debugging: a decision tagged with an older epoch than
+    #: the corpus means the router had not absorbed a mutation yet.
+    corpus_epoch: int = 0
 
     @property
     def n_candidates(self) -> int:
@@ -185,10 +195,12 @@ class RouteDecision:
         """
         if not decisions:
             return RouteDecision(exhaustive=True)
+        epoch = max(d.corpus_epoch for d in decisions)
         if any(d.exhaustive for d in decisions):
             return RouteDecision(
                 exhaustive=True,
                 nprobe_used=max(d.nprobe_used for d in decisions),
+                corpus_epoch=epoch,
             )
         best_rank: dict[str, int] = {}
         seen: dict[str, int] = {}
@@ -215,6 +227,7 @@ class RouteDecision:
             shard_ids=shard_ids,
             per_shard=per_shard,
             nprobe_used=max(d.nprobe_used for d in decisions),
+            corpus_epoch=epoch,
         )
 
 
@@ -222,9 +235,13 @@ class CandidateRouter(ABC):
     """Protocol of the coarse routing tier.
 
     Lifecycle: :meth:`add` / :meth:`remove` / :meth:`reassign` mirror
-    the cluster's placement mutations; the internal index is rebuilt
-    lazily on the next :meth:`nominate` after any mutation (routing
-    structures are cheap relative to the corpus they prune).
+    the cluster's placement mutations.  Once an index exists, single
+    mutations refresh it *incrementally* (IVF appends to the nearest
+    coarse list, LSH re-bands one signature row) instead of rebuilding
+    — a full :meth:`fit` happens only on first build, on an explicit
+    call, or when an implementation decides its structure degraded
+    enough to compact.  Every mutation bumps :attr:`epoch`, which
+    nominations carry on ``RouteDecision.corpus_epoch``.
     """
 
     def __init__(self, policy: RouterPolicy, d: int = 128) -> None:
@@ -235,6 +252,8 @@ class CandidateRouter(ABC):
         #: ref -> owning shard id.
         self._shard_of: dict[str, str] = {}
         self._dirty = True
+        #: monotonic mutation counter (add/remove/reassign).
+        self.epoch = 0
         #: recall calibration: sorted (nprobe, measured recall) pairs
         #: from the ``routing`` bench, consulted by recall targets.
         self._calibration: list[tuple[int, float]] = []
@@ -243,17 +262,21 @@ class CandidateRouter(ABC):
     def add(self, ref_id: str, descriptors: np.ndarray, shard_id: str) -> None:
         """Enrol (or update) one reference image's pooled vector."""
         ref_id = str(ref_id)
+        if ref_id in self._pooled:
+            self._retract(ref_id)
         self._pooled[ref_id] = pool_descriptors(descriptors)
         self._shard_of[ref_id] = str(shard_id)
-        self._dirty = True
+        self._absorb(ref_id)
+        self.epoch += 1
 
     def remove(self, ref_id: str) -> bool:
         ref_id = str(ref_id)
         if ref_id not in self._pooled:
             return False
+        self._retract(ref_id)
         del self._pooled[ref_id]
         del self._shard_of[ref_id]
-        self._dirty = True
+        self.epoch += 1
         return True
 
     def reassign(self, ref_id: str, shard_id: str) -> None:
@@ -262,6 +285,22 @@ class CandidateRouter(ABC):
         ref_id = str(ref_id)
         if ref_id in self._shard_of:
             self._shard_of[ref_id] = str(shard_id)
+            self.epoch += 1
+
+    # -- incremental refresh hooks --------------------------------------
+    def _absorb(self, ref_id: str) -> None:
+        """Fold one just-added pooled vector into the live index.
+
+        The default marks the index dirty (full rebuild on the next
+        nomination); implementations override with an O(1)-ish
+        incremental insert once an index exists.
+        """
+        self._dirty = True
+
+    def _retract(self, ref_id: str) -> None:
+        """Drop one reference from the live index (pooled vector still
+        present when called).  Default: full rebuild on next use."""
+        self._dirty = True
 
     @property
     def n_images(self) -> int:
@@ -312,9 +351,10 @@ class CandidateRouter(ABC):
         """Ranked candidate ref ids for one pooled query vector."""
 
     def fit(self) -> None:
-        """Eagerly (re)build the routing index."""
+        """Eagerly (re)build the routing index from scratch."""
         self._rebuild()
         self._dirty = False
+        _REFRESHES.labels(kind=self.kind, mode="rebuild").inc()
 
     @property
     def kind(self) -> str:
@@ -339,11 +379,17 @@ class CandidateRouter(ABC):
             if self._dirty:
                 self.fit()
             if not self._pooled:
-                decision = RouteDecision(exhaustive=True, nprobe_used=effective)
+                decision = RouteDecision(
+                    exhaustive=True, nprobe_used=effective,
+                    corpus_epoch=self.epoch,
+                )
             else:
                 ranked = self._nominate(pool_descriptors(query_descriptors), effective)
                 if not ranked:
-                    decision = RouteDecision(exhaustive=True, nprobe_used=effective)
+                    decision = RouteDecision(
+                        exhaustive=True, nprobe_used=effective,
+                        corpus_epoch=self.epoch,
+                    )
                 else:
                     per_shard: dict[str, list[str]] = {}
                     shard_ids: list[str] = []
@@ -358,6 +404,7 @@ class CandidateRouter(ABC):
                         shard_ids=shard_ids,
                         per_shard=per_shard,
                         nprobe_used=effective,
+                        corpus_epoch=self.epoch,
                     )
             outcome = "exhaustive" if decision.exhaustive else "routed"
             _NOMINATIONS.labels(kind=self.kind, outcome=outcome).inc()
@@ -401,6 +448,8 @@ class IvfCandidateRouter(CandidateRouter):
         super().__init__(policy, d)
         self._centroids: np.ndarray | None = None
         self._lists: list[list[str]] = []
+        #: ref -> index of the coarse list holding it.
+        self._list_of: dict[str, int] = {}
 
     @property
     def max_nprobe(self) -> int:
@@ -412,6 +461,7 @@ class IvfCandidateRouter(CandidateRouter):
         if not self._pooled:
             self._centroids = None
             self._lists = []
+            self._list_of = {}
             return
         ref_ids = list(self._pooled)
         pooled = np.stack([self._pooled[r] for r in ref_ids])
@@ -424,8 +474,35 @@ class IvfCandidateRouter(CandidateRouter):
         )
         assign = np.argmin(d2, axis=1)
         self._lists = [[] for _ in range(k)]
+        self._list_of = {}
         for ref, lst in zip(ref_ids, assign):
             self._lists[int(lst)].append(ref)
+            self._list_of[ref] = int(lst)
+
+    def _absorb(self, ref_id: str) -> None:
+        # incremental enrolment: assign the new pooled vector to its
+        # nearest *existing* centroid list — the coarse quantiser is
+        # not re-trained per enrolment, only re-used.
+        if self._dirty or self._centroids is None:
+            self._dirty = True
+            return
+        vec = self._pooled[ref_id]
+        d2 = ((self._centroids - vec[None, :]) ** 2).sum(axis=1)
+        lst = int(np.argmin(d2))
+        self._lists[lst].append(ref_id)
+        self._list_of[ref_id] = lst
+        _REFRESHES.labels(kind=self.kind, mode="incremental").inc()
+
+    def _retract(self, ref_id: str) -> None:
+        if self._dirty or self._centroids is None:
+            self._dirty = True
+            return
+        lst = self._list_of.pop(ref_id, None)
+        if lst is None:
+            self._dirty = True
+            return
+        self._lists[lst].remove(ref_id)
+        _REFRESHES.labels(kind=self.kind, mode="incremental").inc()
 
     def _nominate(self, pooled_query: np.ndarray, nprobe: int) -> list[str]:
         if self._centroids is None:
@@ -466,6 +543,12 @@ class LshCandidateRouter(CandidateRouter):
         self._ref_ids: list[str] = []
         self._codes: np.ndarray | None = None
         self._bands: np.ndarray | None = None
+        #: ref -> signature row; rows of removed refs are masked dead
+        #: (row deletion would shift every later index) and compacted
+        #: by a full rebuild once the majority of rows are dead.
+        self._row_of: dict[str, int] = {}
+        self._alive: np.ndarray | None = None
+        self._dead_rows = 0
 
     @property
     def n_bands(self) -> int:
@@ -497,6 +580,9 @@ class LshCandidateRouter(CandidateRouter):
             self._ref_ids = []
             self._codes = None
             self._bands = None
+            self._row_of = {}
+            self._alive = None
+            self._dead_rows = 0
             return
         self._ref_ids = list(self._pooled)
         pooled = np.stack([self._pooled[r] for r in self._ref_ids])  # (count, d)
@@ -504,6 +590,38 @@ class LshCandidateRouter(CandidateRouter):
         self._codec.train(pooled.T)
         self._codes = self._codec.encode(pooled.T)
         self._bands = self._band_values(self._codes)
+        self._row_of = {ref: i for i, ref in enumerate(self._ref_ids)}
+        self._alive = np.ones(len(self._ref_ids), dtype=bool)
+        self._dead_rows = 0
+
+    def _absorb(self, ref_id: str) -> None:
+        # incremental enrolment: sign the new pooled vector with the
+        # *existing* codec and append one signature/band row.
+        if self._dirty or self._codec is None or self._codes is None:
+            self._dirty = True
+            return
+        codes = self._codec.encode(self._pooled[ref_id][:, None])
+        self._row_of[ref_id] = len(self._ref_ids)
+        self._ref_ids.append(ref_id)
+        self._codes = np.vstack([self._codes, codes])
+        self._bands = np.vstack([self._bands, self._band_values(codes)])
+        self._alive = np.append(self._alive, True)
+        _REFRESHES.labels(kind=self.kind, mode="incremental").inc()
+
+    def _retract(self, ref_id: str) -> None:
+        if self._dirty or self._codec is None or self._alive is None:
+            self._dirty = True
+            return
+        row = self._row_of.pop(ref_id, None)
+        if row is None:
+            self._dirty = True
+            return
+        self._alive[row] = False
+        self._dead_rows += 1
+        _REFRESHES.labels(kind=self.kind, mode="incremental").inc()
+        if self._dead_rows * 2 > len(self._ref_ids):
+            # mostly tombstones: compact with a full rebuild next use
+            self._dirty = True
 
     def _nominate(self, pooled_query: np.ndarray, nprobe: int) -> list[str]:
         if self._codec is None or self._bands is None or self._codes is None:
@@ -514,7 +632,10 @@ class LshCandidateRouter(CandidateRouter):
         q_codes = self._codec.encode(pooled_query[:, None])
         q_bands = self._band_values(q_codes)[0]
         band_matches = (self._bands == q_bands[None, :]).sum(axis=1)
-        hits = np.nonzero(band_matches >= threshold)[0]
+        eligible = band_matches >= threshold
+        if self._alive is not None:
+            eligible &= self._alive
+        hits = np.nonzero(eligible)[0]
         if hits.size == 0:
             return []
         hamming = self._codec.hamming(q_codes, self._codes[hits])[0]

@@ -35,6 +35,7 @@ from .executors import (
     ClusterGroupExecutor,
     FusedEngineExecutor,
     GroupExecutor,
+    MixedClusterExecutor,
     SerialEngineExecutor,
     WebTierBatchExecutor,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "FusedEngineExecutor",
     "GroupExecutor",
     "GroupRecord",
+    "MixedClusterExecutor",
     "Rejected",
     "RequestRecord",
     "SerialEngineExecutor",

@@ -21,6 +21,7 @@ __all__ = [
     "ClusterGroupExecutor",
     "FusedEngineExecutor",
     "GroupExecutor",
+    "MixedClusterExecutor",
     "SerialEngineExecutor",
     "WebTierBatchExecutor",
 ]
@@ -98,6 +99,75 @@ class ClusterGroupExecutor(GroupExecutor):
             queries, nprobe=self.nprobe, recall_target=self.recall_target
         )
         return list(group.results), group.elapsed_us
+
+
+class MixedClusterExecutor(GroupExecutor):
+    """Search *and* corpus-mutation traffic on one cluster backend.
+
+    Requests in a group are either plain queries (a bare descriptor
+    array, served like :class:`ClusterGroupExecutor`) or mutations:
+    ``("enroll", ref_id, descriptors)`` and ``("delete", ref_id)``
+    tuples.  Mutations are applied first, then the remaining searches
+    run as one fused ``search_group`` so a mutation admitted before a
+    search in the same group is visible to it (group-local
+    read-your-writes).  Payload order mirrors query order: mutations
+    yield their :class:`EnrollmentAck` / :class:`DeletionAck`,
+    searches their per-query result.
+
+    Timing model: mutations are host-side work (serialisation, KV
+    writes, router absorb) at :data:`ENROLL_COST_US` each, and they
+    overlap the group's GPU sweep — the backend is held for the *max*
+    of the mutation time and the search time, not their sum.  A
+    mutation-only group is charged its mutation time alone.
+    """
+
+    name = "cluster-mixed"
+
+    #: per-mutation web/KV handling cost (µs) charged to the backend on
+    #: top of the cluster's own simulated time.
+    ENROLL_COST_US = 300.0
+
+    def __init__(
+        self,
+        system,
+        nprobe: int | None = None,
+        recall_target: float | None = None,
+    ) -> None:
+        self.system = system
+        self.nprobe = nprobe
+        self.recall_target = recall_target
+
+    @staticmethod
+    def _is_mutation(query: Any) -> bool:
+        return isinstance(query, tuple) and len(query) >= 2 and query[0] in (
+            "enroll", "delete",
+        )
+
+    def execute(self, queries: list[Any]) -> tuple[list[Any], float]:
+        payloads: list[Any] = [None] * len(queries)
+        mutation_us = 0.0
+        search_us = 0.0
+        searches: list[tuple[int, Any]] = []
+        for slot, query in enumerate(queries):
+            if not self._is_mutation(query):
+                searches.append((slot, query))
+                continue
+            op = query[0]
+            if op == "enroll":
+                payloads[slot] = self.system.enroll(query[1], query[2])
+            else:
+                payloads[slot] = self.system.delete(query[1])
+            mutation_us += self.ENROLL_COST_US
+        if searches:
+            group = self.system.search_group(
+                [q for _, q in searches],
+                nprobe=self.nprobe,
+                recall_target=self.recall_target,
+            )
+            for (slot, _), result in zip(searches, group.results):
+                payloads[slot] = result
+            search_us = group.elapsed_us
+        return payloads, max(mutation_us, search_us)
 
 
 class WebTierBatchExecutor(GroupExecutor):

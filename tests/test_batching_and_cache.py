@@ -212,6 +212,56 @@ class TestHybridCache:
         assert sum(1 for c in cache.batches() if c.batch.batch_id == 0) == 1
         assert cache.total_images == sum(c.batch.size for c in cache.batches())
 
+    def test_remove_gpu_batch_frees_device_allocation(self):
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=4 * batch_bytes,
+                                   host_budget_bytes=10 * batch_bytes)
+        cache.add(make_batch(0, 4))
+        cache.add(make_batch(1, 4))
+        assert cache.remove(0) is True
+        assert [c.batch.batch_id for c in cache.batches()] == [1]
+        assert len(cache) == 1
+        assert cache.total_images == 4
+        assert device.memory.used_bytes == batch_bytes
+        # the freed slot is batch-granular: a new batch fits without
+        # evicting the survivor
+        cache.add(make_batch(2, 4))
+        assert [c.batch.batch_id for c in cache.batches()] == [1, 2]
+
+    def test_remove_host_batch(self):
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=2 * batch_bytes,
+                                   host_budget_bytes=10 * batch_bytes)
+        for i in range(3):
+            cache.add(make_batch(i, 4))
+        assert cache.host_batches == 1  # batch 0 was demoted
+        assert cache.remove(0) is True
+        assert cache.host_batches == 0
+        assert [c.batch.batch_id for c in cache.batches()] == [1, 2]
+
+    def test_remove_unknown_batch_is_noop(self):
+        device = small_device(10**6)
+        cache = HybridFeatureCache(device, gpu_budget_bytes=10**5,
+                                   host_budget_bytes=10**5)
+        cache.add(make_batch(0, 4))
+        assert cache.remove(99) is False
+        assert len(cache) == 1
+
+    def test_remove_leaves_no_stale_order_entry(self):
+        device = small_device(10**6)
+        batch_bytes = make_batch(0, 4).nbytes
+        cache = HybridFeatureCache(device, gpu_budget_bytes=4 * batch_bytes,
+                                   host_budget_bytes=10 * batch_bytes)
+        for i in range(3):
+            cache.add(make_batch(i, 4))
+        cache.remove(1)
+        cache.add(make_batch(1, 4))  # re-add after remove: one entry, at tail
+        ids = [c.batch.batch_id for c in cache.batches()]
+        assert ids == [0, 2, 1]
+        assert len(cache) == 3
+
     def test_exhaustion_purges_dropped_ids_from_order(self):
         """Regression: ids dropped when the host level overflows must
         leave the FIFO order too, not linger as stale skipped entries."""

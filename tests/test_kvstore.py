@@ -3,6 +3,7 @@
 import pytest
 
 from repro.distributed import KVStore
+from repro.errors import KVConflictError
 
 
 @pytest.fixture
@@ -60,6 +61,78 @@ class TestHashes:
     def test_delete_covers_hashes(self, store):
         store.hset("h", "a", b"1")
         assert store.delete("h") == 1
+
+
+class TestVersioning:
+    def test_version_starts_at_zero(self, store):
+        assert store.version("nope") == 0
+
+    def test_set_bumps_version(self, store):
+        store.set("k", b"v1")
+        assert store.version("k") == 1
+        store.set("k", b"v2")
+        assert store.version("k") == 2
+
+    def test_incr_bumps_version(self, store):
+        store.incr("counter")
+        store.incr("counter")
+        assert store.version("counter") == 2
+
+    def test_version_monotonic_across_delete(self, store):
+        # a recycled key must never look "new" again, or a stale
+        # writer could CAS onto it (the ABA problem)
+        store.set("k", b"v1")
+        store.set("k", b"v2")
+        store.delete("k")
+        assert store.get("k") is None
+        assert store.version("k") == 3
+        store.set("k", b"v3")
+        assert store.version("k") == 4
+
+    def test_set_versioned_happy_path(self, store):
+        assert store.set_versioned("k", b"v1", expected_version=0) == 1
+        assert store.set_versioned("k", b"v2", expected_version=1) == 2
+        assert store.get("k") == b"v2"
+
+    def test_set_versioned_conflict(self, store):
+        store.set("k", b"v1")
+        store.set("k", b"v2")
+        with pytest.raises(KVConflictError) as exc_info:
+            store.set_versioned("k", b"stale", expected_version=1)
+        assert exc_info.value.expected == 1
+        assert exc_info.value.actual == 2
+        assert store.get("k") == b"v2"  # conflicting write left no trace
+
+    def test_set_versioned_create_only(self, store):
+        store.set("k", b"v")
+        with pytest.raises(KVConflictError):
+            store.set_versioned("k", b"other", expected_version=0)
+
+    def test_cas_by_value(self, store):
+        store.set("k", b"old")
+        assert store.cas("k", b"wrong", b"new") is False
+        assert store.get("k") == b"old"
+        assert store.cas("k", b"old", b"new") is True
+        assert store.get("k") == b"new"
+
+    def test_cas_create_when_absent(self, store):
+        assert store.cas("k", None, b"v") is True
+        assert store.get("k") == b"v"
+        assert store.cas("k", None, b"other") is False
+
+    def test_flushall_resets_versions(self, store):
+        store.set("k", b"v")
+        store.flushall()
+        assert store.version("k") == 0
+
+    def test_restore_resets_versions_to_one(self, store):
+        store.set("k", b"v1")
+        store.set("k", b"v2")
+        snapshot = store.dump()
+        fresh = KVStore()
+        fresh.restore(snapshot)
+        assert fresh.version("k") == 1
+        assert fresh.get("k") == b"v2"
 
 
 class TestAdmin:

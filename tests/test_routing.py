@@ -301,7 +301,7 @@ class TestRoutedCluster:
         system = build_cluster(3, refs, policy=RouterPolicy(kind="ivf", n_lists=4))
         system.search(noisy_copy(refs["r1"], sigma=8.0))
         stats = system.stats()
-        assert stats["schema_version"] == 4
+        assert stats["schema_version"] == 5
         routing = stats["routing"]
         assert routing["enabled"] is True
         assert routing["kind"] == "ivf"
@@ -383,6 +383,137 @@ class TestRoutingUnderFaults:
             return outcomes
 
         assert scenario() == scenario()
+
+
+def _refreshes(kind, mode):
+    return default_registry().value(
+        "repro_router_refresh_total", kind=kind, mode=mode
+    )
+
+
+@pytest.mark.enrollment
+class TestIncrementalRefresh:
+    def test_ivf_absorb_appends_without_rebuild(self):
+        refs = corpus(12)
+        router = fitted_router(refs, RouterPolicy(kind="ivf", n_lists=4))
+        rebuilds0 = _refreshes("ivf", "rebuild")
+        incr0 = _refreshes("ivf", "incremental")
+        extra = make_descriptors(32, seed=991)
+        router.add("extra", extra, "node-1")
+        decision = router.nominate(noisy_copy(extra, sigma=4.0), nprobe=2)
+        assert "extra" in decision.candidate_ids
+        assert _refreshes("ivf", "rebuild") == rebuilds0
+        assert _refreshes("ivf", "incremental") == incr0 + 1
+
+    def test_ivf_retract_removes_without_rebuild(self):
+        refs = corpus(12)
+        router = fitted_router(refs, RouterPolicy(kind="ivf", n_lists=4))
+        rebuilds0 = _refreshes("ivf", "rebuild")
+        assert router.remove("r3")
+        decision = router.nominate(noisy_copy(refs["r3"], sigma=4.0), nprobe=4)
+        assert "r3" not in decision.candidate_ids
+        assert _refreshes("ivf", "rebuild") == rebuilds0
+
+    def test_lsh_absorb_and_masked_retract(self):
+        refs = corpus(12)
+        router = fitted_router(refs, RouterPolicy(kind="lsh"))
+        rebuilds0 = _refreshes("lsh", "rebuild")
+        extra = make_descriptors(32, seed=992)
+        router.add("extra", extra, "node-0")
+        assert "extra" in router.nominate(
+            noisy_copy(extra, sigma=4.0), nprobe=4
+        ).candidate_ids
+        assert router.remove("extra")
+        assert "extra" not in router.nominate(
+            noisy_copy(extra, sigma=4.0), nprobe=4
+        ).candidate_ids
+        assert _refreshes("lsh", "rebuild") == rebuilds0
+
+    def test_lsh_compacts_when_mostly_dead(self):
+        refs = corpus(10)
+        router = fitted_router(refs, RouterPolicy(kind="lsh"))
+        rebuilds0 = _refreshes("lsh", "rebuild")
+        for i in range(6):  # kill the majority: compaction triggers
+            router.remove(f"r{i}")
+        survivor = refs["r8"]
+        decision = router.nominate(noisy_copy(survivor, sigma=4.0), nprobe=4)
+        assert "r8" in decision.candidate_ids
+        assert _refreshes("lsh", "rebuild") == rebuilds0 + 1
+
+    def test_update_in_place_retracts_then_absorbs(self):
+        refs = corpus(8)
+        router = fitted_router(refs, RouterPolicy(kind="ivf", n_lists=2))
+        replacement = make_descriptors(32, seed=993)
+        router.add("r2", replacement, "node-5")
+        decision = router.nominate(noisy_copy(replacement, sigma=4.0), nprobe=2)
+        assert "r2" in decision.candidate_ids
+        assert decision.candidate_ids.count("r2") == 1
+        assert "node-5" in decision.per_shard
+        assert router.n_images == len(refs)
+
+
+@pytest.mark.enrollment
+class TestRouteDecisionEpochs:
+    def test_nominate_tags_current_epoch(self):
+        refs = corpus(8)
+        router = fitted_router(refs, RouterPolicy(kind="ivf", n_lists=2))
+        epoch0 = router.epoch
+        assert epoch0 == len(refs)
+        d0 = router.nominate(noisy_copy(refs["r0"], sigma=4.0))
+        assert d0.corpus_epoch == epoch0
+        router.add("extra", make_descriptors(32, seed=994), "node-0")
+        d1 = router.nominate(noisy_copy(refs["r0"], sigma=4.0))
+        assert d1.corpus_epoch == epoch0 + 1
+
+    def test_merge_carries_max_epoch(self):
+        a = RouteDecision(candidate_ids=["x"], shard_ids=["s0"],
+                          per_shard={"s0": ["x"]}, nprobe_used=1, corpus_epoch=3)
+        b = RouteDecision(candidate_ids=["y"], shard_ids=["s1"],
+                          per_shard={"s1": ["y"]}, nprobe_used=1, corpus_epoch=7)
+        assert RouteDecision.merge([a, b]).corpus_epoch == 7
+
+    def test_exhaustive_fallback_still_tagged(self):
+        router = build_router(RouterPolicy(kind="ivf"))
+        router.add("only", make_descriptors(32, seed=995), "node-0")
+        router.remove("only")
+        decision = router.nominate(make_descriptors(32, seed=996))
+        assert decision.exhaustive
+        assert decision.corpus_epoch == 2
+
+
+@pytest.mark.enrollment
+class TestClusterRouterSync:
+    def test_enroll_then_route_finds_new_reference(self):
+        refs = corpus(18)
+        system = build_cluster(3, refs, policy=RouterPolicy(kind="ivf", n_lists=6))
+        system.build_router()
+        desc = make_descriptors(32, seed=997)
+        ack = system.enroll("fresh", desc)
+        result = system.search(noisy_copy(desc, sigma=4.0), nprobe=2)
+        assert result.routed
+        assert result.best().reference_id == "fresh"
+        assert result.corpus_epoch[ack.node_id] >= ack.epoch
+
+    def test_delete_then_route_never_nominates(self):
+        refs = corpus(18)
+        system = build_cluster(3, refs, policy=RouterPolicy(kind="ivf", n_lists=6))
+        system.build_router()
+        system.delete("r4")
+        result = system.search(noisy_copy(refs["r4"], sigma=4.0), nprobe=6)
+        assert "r4" not in {m.reference_id for m in result.matches}
+        assert system.router.n_images == len(refs) - 1
+
+    def test_failover_keeps_router_consistent(self):
+        refs = corpus(18)
+        system = build_cluster(3, refs, policy=RouterPolicy(kind="ivf", n_lists=6))
+        system.build_router()
+        victim = system.nodes[0].node_id
+        system.remove_node(victim)
+        assert system.router.n_images == len(refs)
+        for ref_id in ("r2", "r11"):
+            result = system.search(noisy_copy(refs[ref_id], sigma=8.0), nprobe=3)
+            assert result.best().reference_id == ref_id
+            assert victim not in result.corpus_epoch
 
 
 class TestRestRoutingKnobs:
