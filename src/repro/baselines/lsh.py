@@ -15,21 +15,9 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..features.binarize import hamming_distances, pack_bits, sign_planes, words_for_bits
+
 __all__ = ["LshCodec", "LshMatcher"]
-
-
-def _popcount(values: np.ndarray) -> np.ndarray:
-    """Per-element popcount for unsigned integer arrays."""
-    if hasattr(np, "bitwise_count"):
-        return np.bitwise_count(values)
-    # fallback: byte-table popcount
-    table = np.array([bin(i).count("1") for i in range(256)], dtype=np.uint8)
-    out = np.zeros(values.shape, dtype=np.int64)
-    view = values.copy()
-    for _ in range(values.dtype.itemsize):
-        out += table[(view & 0xFF).astype(np.uint8)]
-        view >>= 8
-    return out
 
 
 class LshCodec:
@@ -38,17 +26,16 @@ class LshCodec:
     ``n_bits`` sign bits per descriptor, packed into ``ceil(n_bits/64)``
     uint64 words: 768 SIFT floats (3 KB) become e.g. 32 bytes at 256
     bits — a 96x compression, at the cost of Hamming-space candidate
-    recall.
+    recall.  Packing and Hamming math live in the shared
+    :mod:`repro.features.binarize` helpers (also used by the LSH
+    candidate router and the cascade prefilter kernel).
     """
 
     def __init__(self, d: int = 128, n_bits: int = 256, seed: int = 0) -> None:
-        if n_bits < 8:
-            raise ValueError("n_bits must be >= 8")
         self.d = d
         self.n_bits = int(n_bits)
-        self.n_words = (self.n_bits + 63) // 64
-        rng = np.random.default_rng(seed)
-        self._planes = rng.normal(size=(self.n_bits, d)).astype(np.float32)
+        self.n_words = words_for_bits(self.n_bits)
+        self._planes = sign_planes(d, self.n_bits, seed)
         #: hyperplanes pass through the data mean, set during train().
         self._center = np.zeros(d, dtype=np.float32)
 
@@ -65,17 +52,11 @@ class LshCodec:
         if descriptors.ndim != 2 or descriptors.shape[0] != self.d:
             raise ValueError(f"descriptors must be ({self.d}, count)")
         bits = (self._planes @ (descriptors - self._center[:, None])) > 0  # (bits, count)
-        count = descriptors.shape[1]
-        codes = np.zeros((count, self.n_words), dtype=np.uint64)
-        for b in range(self.n_bits):
-            word, offset = divmod(b, 64)
-            codes[:, word] |= bits[b].astype(np.uint64) << np.uint64(offset)
-        return codes
+        return pack_bits(bits)
 
     def hamming(self, codes_a: np.ndarray, codes_b: np.ndarray) -> np.ndarray:
         """Pairwise Hamming distances: (len(a), len(b))."""
-        xor = codes_a[:, None, :] ^ codes_b[None, :, :]
-        return _popcount(xor).sum(axis=2)
+        return hamming_distances(codes_a, codes_b)
 
     @property
     def bytes_per_descriptor(self) -> int:

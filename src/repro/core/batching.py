@@ -23,13 +23,18 @@ class ReferenceBatch:
 
     ``tensor`` is ``(size, d, m)`` in engine precision (FP16 values are
     pre-scaled); ``norms`` is ``(size, m)`` when Algorithm 1 needs the
-    ``N_R`` vectors, else ``None``.
+    ``N_R`` vectors, else ``None``.  ``aux`` carries kernel-specific
+    per-image side data — the cascade prefilter's ``(size, m, words)``
+    packed sign-bit codes — and is counted into :attr:`nbytes`, so the
+    hybrid cache's capacity, eviction and ``remove()`` accounting cover
+    it exactly like the feature tensors (the batch is the swap unit).
     """
 
     batch_id: int
     ids: list[str]
     tensor: np.ndarray
     norms: np.ndarray | None = None
+    aux: np.ndarray | None = None
 
     @property
     def size(self) -> int:
@@ -40,6 +45,8 @@ class ReferenceBatch:
         total = self.tensor.nbytes
         if self.norms is not None:
             total += self.norms.nbytes
+        if self.aux is not None:
+            total += self.aux.nbytes
         return total
 
     def __post_init__(self) -> None:
@@ -54,6 +61,10 @@ class ReferenceBatch:
             self.tensor.shape[2],
         ):
             raise ValueError(f"norms shape {self.norms.shape} does not match tensor")
+        if self.aux is not None and self.aux.shape[0] != self.tensor.shape[0]:
+            raise ValueError(
+                f"aux leading dim {self.aux.shape[0]} != batch size {self.tensor.shape[0]}"
+            )
 
 
 class BatchBuilder:
@@ -65,20 +76,35 @@ class BatchBuilder:
     (the final, possibly partial batch).
     """
 
-    def __init__(self, batch_size: int, d: int, m: int, keep_norms: bool = False) -> None:
+    def __init__(
+        self,
+        batch_size: int,
+        d: int,
+        m: int,
+        keep_norms: bool = False,
+        keep_aux: bool = False,
+    ) -> None:
         if batch_size <= 0:
             raise ValueError("batch_size must be positive")
         self.batch_size = int(batch_size)
         self.d = int(d)
         self.m = int(m)
         self.keep_norms = keep_norms
+        self.keep_aux = keep_aux
         self._ids: list[str] = []
         self._matrices: list[np.ndarray] = []
         self._norms: list[np.ndarray] = []
+        self._aux: list[np.ndarray] = []
         self._next_batch_id = 0
         self._completed: list[ReferenceBatch] = []
 
-    def add(self, ref_id: str, matrix: np.ndarray, norms: np.ndarray | None = None) -> ReferenceBatch | None:
+    def add(
+        self,
+        ref_id: str,
+        matrix: np.ndarray,
+        norms: np.ndarray | None = None,
+        aux: np.ndarray | None = None,
+    ) -> ReferenceBatch | None:
         """Add one prepared matrix; returns a batch if one just filled."""
         matrix = np.asarray(matrix)
         if matrix.shape != (self.d, self.m):
@@ -92,6 +118,10 @@ class BatchBuilder:
             if norms.shape != (self.m,):
                 raise ValueError(f"norms shape {norms.shape} != ({self.m},)")
             self._norms.append(norms)
+        if self.keep_aux:
+            if aux is None:
+                raise ValueError("this builder requires per-matrix aux data")
+            self._aux.append(np.asarray(aux))
         self._ids.append(str(ref_id))
         self._matrices.append(matrix)
         if len(self._ids) == self.batch_size:
@@ -117,13 +147,16 @@ class BatchBuilder:
             return None
         tensor = np.stack(self._matrices, axis=0)
         norms = np.stack(self._norms, axis=0) if self.keep_norms else None
+        aux = np.stack(self._aux, axis=0) if self.keep_aux else None
         batch = ReferenceBatch(
-            batch_id=self._next_batch_id, ids=self._ids, tensor=tensor, norms=norms
+            batch_id=self._next_batch_id, ids=self._ids, tensor=tensor,
+            norms=norms, aux=aux,
         )
         self._next_batch_id += 1
         self._ids = []
         self._matrices = []
         self._norms = []
+        self._aux = []
         self._completed.append(batch)
         return batch
 

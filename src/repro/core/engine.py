@@ -78,6 +78,11 @@ _IMAGES_PRUNED = _REG.counter(
     "Cached reference images skipped by candidate-routing restriction "
     "(first-tier pruning, not faults)",
 )
+_CASCADE_PRUNED = _REG.counter(
+    "repro_engine_cascade_pruned_total",
+    "Reference images whose exact GEMM was skipped by the cascade "
+    "Hamming prefilter (the prune cost itself is still charged)",
+)
 #: pre-bound children — the sweep loop must not pay label resolution.
 _SWEEP_HIT = _SWEEP_LOOKUPS.labels(result="hit")
 _SWEEP_MISS = _SWEEP_LOOKUPS.labels(result="miss")
@@ -113,7 +118,10 @@ class _SweepOutcome:
     True whenever that count is non-zero.  ``images_pruned`` counts
     images in batches the candidate restriction excluded — a
     deliberate first-tier decision that never marks the outcome
-    partial.
+    partial.  ``cascade_pruned`` counts images whose exact GEMM the
+    kernel's Hamming prefilter skipped — those images still count into
+    ``images`` (they were examined and report zero matches), unlike
+    routing-pruned ones.
     """
 
     per_query_matches: list[list[ImageMatch]]
@@ -121,6 +129,7 @@ class _SweepOutcome:
     elapsed_us: float
     images_skipped: int = 0
     images_pruned: int = 0
+    cascade_pruned: int = 0
 
     @property
     def partial(self) -> bool:
@@ -174,6 +183,7 @@ class TextureSearchEngine:
             d=cfg.d,
             m=cfg.m,
             keep_norms=self.kernel.needs_norms,
+            keep_aux=self.kernel.needs_aux,
         )
         self.stats = EngineStats()
         #: live id -> (ReferenceBatch | None, slot index); ``None`` means
@@ -221,8 +231,9 @@ class TextureSearchEngine:
         if ref_id in self._locations:
             self.remove_reference(ref_id)
         matrix, norms = self.prepare_reference_matrix(descriptors)
+        aux = self.kernel.reference_aux(matrix) if self.kernel.needs_aux else None
         self._locations[ref_id] = (None, self._builder.pending)
-        flushed = self._builder.add(ref_id, matrix, norms)
+        flushed = self._builder.add(ref_id, matrix, norms, aux)
         if flushed is not None:
             self._seal(flushed)
         self.stats.references += 1
@@ -272,8 +283,9 @@ class TextureSearchEngine:
             raise ValueError(f"backend {self.backend!r} engines require the N_R vector")
         if ref_id in self._locations:
             self.remove_reference(ref_id)
+        aux = self.kernel.reference_aux(matrix) if self.kernel.needs_aux else None
         self._locations[ref_id] = (None, self._builder.pending)
-        flushed = self._builder.add(ref_id, matrix, norms)
+        flushed = self._builder.add(ref_id, matrix, norms, aux)
         if flushed is not None:
             self._seal(flushed)
         self.stats.references += 1
@@ -416,6 +428,17 @@ class TextureSearchEngine:
         counted into ``images_skipped`` instead of compared, and the
         outcome comes back ``partial``.  The batches that *were* swept
         produce bit-identical matches to a full sweep's prefix.
+
+        Prefilter backends (``kernel.has_prefilter``) add a stage in
+        front of the exact match: ``prefilter_batch`` runs on the
+        cached aux codes *before* any H2D staging, its cost charged
+        through the gpusim popcount model.  A batch with no survivor is
+        short-circuited — no transfer, no GEMM — and its images report
+        zero matches (they still count into ``images``: the prefilter
+        *examined* them, unlike routing-pruned batches it never saw);
+        partial survivors are handed to ``match_batch`` so pruned slots
+        skip their per-image GEMM.  ``cascade_pruned`` counts the
+        skipped GEMMs.
         """
         cfg = self.config
         deadline = current_deadline() if honor_deadline else None
@@ -435,7 +458,11 @@ class TextureSearchEngine:
             host_images = 0
             images_skipped = 0
             images_pruned = 0
+            cascade_pruned = 0
             charged_at_us = start_us
+            prefilter_active = (
+                self.kernel.has_prefilter and query.matrix.ndim == 2
+            )
             source = self.cache.batches() if batches is None else batches
             traced = _TRACER.enabled
             for cached in source:
@@ -453,6 +480,14 @@ class TextureSearchEngine:
                     continue
                 batch = cached.batch
                 resident = cached.location is not CacheLocation.HOST
+                survivors = None
+                if prefilter_active:
+                    # the prefilter runs on the small cached codes before
+                    # any feature staging; its popcount cost is charged.
+                    survivors = self.kernel.prefilter_batch(self.device, batch, query)
+                    if survivors is not None:
+                        cascade_pruned += batch.size - int(survivors.sum())
+                fully_pruned = survivors is not None and not survivors.any()
                 if record_stats:
                     (_SWEEP_HIT if resident else _SWEEP_MISS).inc()
                 batch_cm = (
@@ -465,14 +500,25 @@ class TextureSearchEngine:
                     else nullcontext()
                 )
                 with batch_cm:
-                    if not resident:
+                    if not resident and not fully_pruned:
                         # one H2D per reference batch per *sweep* — a query
                         # group shares the transfer, it is not paid per query
                         self.device.h2d(batch.nbytes, pinned=self.cache.pinned)
                         _H2D_BYTES.inc(batch.nbytes)
                         host_images += batch.size
-                    if query.matrix.ndim == 3:  # a prepared query *group*
+                    if fully_pruned:
+                        # no survivor: the batch never transfers and the
+                        # exact stage is skipped outright.
+                        groups = [self._pruned_matches(batch, keep_masks)]
+                    elif query.matrix.ndim == 3:  # a prepared query *group*
                         groups = self.kernel.match_batch_multi(self.device, batch, query, keep_masks)
+                    elif survivors is not None:
+                        groups = [
+                            self.kernel.match_batch(
+                                self.device, batch, query, keep_masks,
+                                survivors=survivors,
+                            )
+                        ]
                     else:
                         groups = [self.kernel.match_batch(self.device, batch, query, keep_masks)]
                     # tombstone filtering: resolve the batch's dead slots once
@@ -536,17 +582,39 @@ class TextureSearchEngine:
                 _DEADLINE_SWEEPS.inc()
             if images_pruned and record_stats:
                 _IMAGES_PRUNED.inc(images_pruned)
+            if cascade_pruned and record_stats:
+                _CASCADE_PRUNED.inc(cascade_pruned)
             if sweep_span is not None:
                 sweep_span.set(sim_elapsed_us=elapsed, images=images,
                                images_skipped=images_skipped,
-                               images_pruned=images_pruned)
+                               images_pruned=images_pruned,
+                               cascade_pruned=cascade_pruned)
         return _SweepOutcome(
             per_query_matches=per_query,
             images=images,
             elapsed_us=elapsed,
             images_skipped=images_skipped,
             images_pruned=images_pruned,
+            cascade_pruned=cascade_pruned,
         )
+
+    def _pruned_matches(self, batch: ReferenceBatch, keep_masks: bool) -> list[ImageMatch]:
+        """Zero-match entries for a fully Hamming-pruned batch — one per
+        slot, in slot order, so the tombstone/candidate filtering below
+        treats them exactly like kernel output."""
+        n = self.config.n
+        return [
+            ImageMatch(
+                reference_id=slot_id,
+                good_matches=0,
+                n_query_features=n,
+                match_mask=np.zeros(n, dtype=bool) if keep_masks else None,
+                matched_reference_indices=(
+                    np.zeros(0, dtype=np.int32) if keep_masks else None
+                ),
+            )
+            for slot_id in batch.ids
+        ]
 
     # ------------------------------------------------------------------
     # search
@@ -576,6 +644,7 @@ class TextureSearchEngine:
             partial=outcome.partial,
             images_skipped=outcome.images_skipped,
             images_pruned=outcome.images_pruned,
+            cascade_pruned=outcome.cascade_pruned,
         )
 
     def search_group(
@@ -620,6 +689,7 @@ class TextureSearchEngine:
                     partial=outcome.partial,
                     images_skipped=outcome.images_skipped,
                     images_pruned=outcome.images_pruned,
+                    cascade_pruned=outcome.cascade_pruned,
                 )
                 for q in range(n_queries)
             ],
@@ -628,6 +698,7 @@ class TextureSearchEngine:
             partial=outcome.partial,
             images_skipped=outcome.images_skipped,
             images_pruned=outcome.images_pruned,
+            cascade_pruned=outcome.cascade_pruned,
         )
 
     def search_many(
@@ -652,12 +723,14 @@ class TextureSearchEngine:
         """One-to-one verification: ``(same_texture, good_matches)``."""
         cfg = self.config
         ref_matrix, norms = self.prepare_reference_matrix(reference_descriptors)
+        aux = self.kernel.reference_aux(ref_matrix) if self.kernel.needs_aux else None
         query = self.kernel.prepare_query(self.device, query_descriptors)
         transient = ReferenceBatch(
             batch_id=-1,
             ids=["\x00verify"],
             tensor=ref_matrix[None, ...],
             norms=norms[None, ...] if norms is not None else None,
+            aux=aux[None, ...] if aux is not None else None,
         )
         outcome = self._execute_sweep(
             query,

@@ -79,6 +79,17 @@ class MatchKernel(ABC):
     needs_norms:
         Whether cached :class:`ReferenceBatch` blocks carry ``N_R``
         squared-norm vectors next to the feature tensors.
+    needs_aux:
+        Whether cached batches carry a kernel-computed per-image aux
+        array (:meth:`reference_aux`) next to the feature tensors —
+        the cascade kernel's packed sign-bit codes.  Aux rides inside
+        ``ReferenceBatch.nbytes``, so the hybrid cache accounts and
+        evicts it with the batch.
+    has_prefilter:
+        Whether :meth:`prefilter_batch` prunes references ahead of the
+        exact match — the engine calls it *before* staging a
+        host-resident batch, so a fully-pruned batch never pays its
+        H2D transfer.
     supports_multiquery:
         Whether :meth:`match_batch_multi` is implemented (enables
         ``TextureSearchEngine.search_many``).
@@ -86,6 +97,8 @@ class MatchKernel(ABC):
 
     name: str = "abstract"
     needs_norms: bool = False
+    needs_aux: bool = False
+    has_prefilter: bool = False
     supports_multiquery: bool = False
 
     def __init__(self, config: "EngineConfig") -> None:
@@ -142,6 +155,33 @@ class MatchKernel(ABC):
 
         Used by ``import_records``: serialized records hold only the
         stored-domain matrix, and norm-free kernels return ``None``.
+        """
+        return None
+
+    def reference_aux(self, matrix: np.ndarray) -> np.ndarray:
+        """Per-image aux array for one *stored* ``(d, m)`` matrix.
+
+        Called by the engine when :attr:`needs_aux`, both at enrolment
+        and when re-importing serialized records (aux is deterministic
+        given the stored matrix, so it is recomputed, never persisted).
+        """
+        raise ValueError(f"backend {self.name!r} does not cache aux data")
+
+    # -- prefilter -----------------------------------------------------
+    def prefilter_batch(
+        self,
+        device: GPUDevice,
+        batch: ReferenceBatch,
+        query: PreparedQuery,
+    ) -> np.ndarray | None:
+        """Survivor mask (``(batch.size,)`` bool) ahead of the exact
+        match, charging the device for the prune test itself.
+
+        ``None`` means "no pruning decision" (all slots survive).  The
+        engine short-circuits batches whose mask is all-False before
+        any H2D staging, and passes the mask to :meth:`match_batch` as
+        ``survivors`` so the kernel skips the exact GEMM for pruned
+        slots.  Only called when :attr:`has_prefilter`.
         """
         return None
 

@@ -25,6 +25,10 @@ Built-in backends
 ``lsh``
     Kusamura et al. LSH compression baseline: Hamming candidate filter
     plus exact re-ranking.
+``cascade``
+    Cascade-hashing binary prefilter: coarse-to-fine XOR/popcount
+    Hamming tests over cached sign-bit codes prune candidates before
+    the exact cuBLAS 2-NN pipeline runs on the survivors.
 
 Registration is lazy — the mapping stores import paths, so importing
 this module pulls in no kernel code and no baseline code.  Third-party
@@ -57,6 +61,7 @@ _BUILTIN: dict[str, tuple[str, str]] = {
     "garcia": ("repro.baselines.adapters", "GarciaKernel"),
     "opencv": ("repro.baselines.adapters", "OpenCVKernel"),
     "lsh": ("repro.baselines.adapters", "LshKernel"),
+    "cascade": ("repro.core.cascade", "CascadeKernel"),
 }
 
 #: historical / descriptive aliases.
@@ -75,14 +80,22 @@ def available_backends() -> list[str]:
 
 
 def canonical_backend(name: str) -> str:
-    """Resolve aliases; raise ``ValueError`` for unknown backends."""
+    """Resolve aliases; raise ``ValueError`` for unknown backends.
+
+    The error lists *every* currently registered name — built-ins,
+    runtime :func:`register_kernel` additions, and the aliases — so a
+    typo'd config points at the real menu, not just the built-in set.
+    """
     name = str(name).lower()
     name = _ALIASES.get(name, name)
     if name in _CUSTOM or name in _BUILTIN:
         return name
+    aliases = ", ".join(
+        f"{alias}->{target}" for alias, target in sorted(_ALIASES.items())
+    )
     raise ValueError(
         f"unknown backend {name!r}; registered backends: "
-        f"{', '.join(available_backends())}"
+        f"{', '.join(available_backends())} (aliases: {aliases})"
     )
 
 

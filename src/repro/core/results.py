@@ -66,6 +66,10 @@ class SearchResult:
     images *deliberately* not swept because a candidate-routing tier
     (:mod:`repro.routing`) restricted the sweep — pruning is a
     first-tier decision, not a fault, so it never sets ``partial``.
+    ``cascade_pruned`` counts images whose exact GEMM a Hamming
+    prefilter backend skipped (:mod:`repro.core.cascade`); unlike
+    routing prunes they still count into ``images_searched`` — the
+    prefilter examined them and they report zero matches.
     """
 
     matches: list[ImageMatch] = field(default_factory=list)
@@ -74,6 +78,7 @@ class SearchResult:
     partial: bool = False
     images_skipped: int = 0
     images_pruned: int = 0
+    cascade_pruned: int = 0
 
     def top(self, count: int = 1) -> list[ImageMatch]:
         """Best ``count`` reference images by score (descending)."""
@@ -108,6 +113,7 @@ class GroupSearchResult:
     partial: bool = False
     images_skipped: int = 0
     images_pruned: int = 0
+    cascade_pruned: int = 0
 
     @property
     def group_size(self) -> int:

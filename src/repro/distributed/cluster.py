@@ -64,7 +64,7 @@ __all__ = [
 WEB_TIER_OVERHEAD_US = 2000.0
 
 #: version of the ``GET /stats`` payload shape; bump when keys change.
-STATS_SCHEMA_VERSION = 5
+STATS_SCHEMA_VERSION = 6
 
 _REG = default_registry()
 _TRACER = default_tracer()
@@ -201,6 +201,9 @@ class ClusterSearchResult:
     ``unsearched_shards`` and never setting ``partial`` — pruning is
     a first-tier decision, not a failure), and ``images_pruned``
     totals the cached images the nominated shards' engines skipped.
+    ``cascade_pruned`` totals the images whose exact GEMM a cascade
+    prefilter backend skipped across the answering shards (those
+    images still count into ``images_searched``).
     """
 
     matches: list[ImageMatch]
@@ -214,6 +217,7 @@ class ClusterSearchResult:
     routed: bool = False
     unrouted_shards: list[str] = field(default_factory=list)
     images_pruned: int = 0
+    cascade_pruned: int = 0
     #: index epoch each answering shard's corpus was at while it was
     #: searched — the read-your-writes handle: a client holding an
     #: :class:`~repro.distributed.enrollment.EnrollmentAck` checks
@@ -258,6 +262,7 @@ class ClusterGroupResult:
     routed: bool = False
     unrouted_shards: list[str] = field(default_factory=list)
     images_pruned: int = 0
+    cascade_pruned: int = 0
     #: shard -> index epoch observed during the gather (see
     #: :attr:`ClusterSearchResult.corpus_epoch`).
     corpus_epoch: dict[str, int] = field(default_factory=dict)
@@ -789,6 +794,7 @@ class DistributedSearchSystem:
                 hit = any(m.score > 0 for m in matches)
                 _ROUTER_HITS.labels(result="hit" if hit else "miss").inc()
             images_pruned = sum(r.images_pruned for r in per_node.values())
+            cascade_pruned = sum(r.cascade_pruned for r in per_node.values())
             if span is not None:
                 span.set(nodes=len(populated), retries=retries,
                          unsearched=len(unsearched),
@@ -810,6 +816,7 @@ class DistributedSearchSystem:
             routed=routed,
             unrouted_shards=unrouted,
             images_pruned=images_pruned,
+            cascade_pruned=cascade_pruned,
             corpus_epoch=epochs_seen,
         )
 
@@ -847,6 +854,7 @@ class DistributedSearchSystem:
             epochs_seen: dict[str, int] = {}
             per_query_images = [0] * n_queries
             per_query_pruned = [0] * n_queries
+            per_query_cascade = [0] * n_queries
             slowest_us = 0.0
             retries = 0
             unsearched: list[str] = []
@@ -895,6 +903,7 @@ class DistributedSearchSystem:
                     per_node_all[q][node.node_id] = result
                     per_query_images[q] += result.images_searched
                     per_query_pruned[q] += result.images_pruned
+                    per_query_cascade[q] += result.cascade_pruned
             if fanout is not None:
                 fanout.join()
             unsearched.extend(brownout_skipped)
@@ -928,6 +937,7 @@ class DistributedSearchSystem:
                     routed=routed,
                     unrouted_shards=list(unrouted),
                     images_pruned=per_query_pruned[q],
+                    cascade_pruned=per_query_cascade[q],
                     corpus_epoch=dict(epochs_seen),  # private copy per query
                 )
                 for q in range(n_queries)
@@ -939,6 +949,7 @@ class DistributedSearchSystem:
             routed=routed,
             unrouted_shards=list(unrouted),
             images_pruned=max(per_query_pruned) if per_query_pruned else 0,
+            cascade_pruned=max(per_query_cascade) if per_query_cascade else 0,
             corpus_epoch=dict(epochs_seen),
         )
 
@@ -1083,6 +1094,14 @@ class DistributedSearchSystem:
                 ),
                 "images_pruned_total": _REG.value(
                     "repro_engine_images_pruned_total"
+                ),
+            },
+            "cascade": {
+                "enabled": any(
+                    node.engine.kernel.has_prefilter for node in self.nodes
+                ),
+                "images_pruned_total": _REG.value(
+                    "repro_engine_cascade_pruned_total"
                 ),
             },
             "enrollment": {

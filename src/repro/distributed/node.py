@@ -283,4 +283,5 @@ class SearchNode:
             "host_cache_bytes": host_used,
             "searches": self.engine.stats.searches,
             "mean_images_per_s": self.engine.stats.mean_throughput_images_per_s,
+            "cascade_prefilter": self.engine.kernel.has_prefilter,
         }

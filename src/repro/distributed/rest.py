@@ -305,6 +305,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                 "routed": result.routed,
                 "unrouted_shards": list(result.unrouted_shards),
                 "images_pruned": result.images_pruned,
+                "cascade_pruned": result.cascade_pruned,
                 "corpus_epoch": dict(result.corpus_epoch),
             },
         )
@@ -371,6 +372,7 @@ def build_api(system: DistributedSearchSystem) -> Router:
                         "retries": result.retries,
                         "deadline_expired": result.deadline_expired,
                         "images_pruned": result.images_pruned,
+                        "cascade_pruned": result.cascade_pruned,
                         "corpus_epoch": dict(result.corpus_epoch),
                     }
                     for result in group.results

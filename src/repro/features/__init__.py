@@ -2,6 +2,14 @@
 (Gaussian pyramid, DoG detection, orientation, 128-D descriptors),
 RootSIFT, and response-ranked selection for asymmetric extraction."""
 
+from .binarize import (
+    hamming_distances,
+    pack_bits,
+    popcount,
+    sign_planes,
+    unpack_bits,
+    words_for_bits,
+)
 from .descriptor import DESCRIPTOR_DIM, DESCRIPTOR_L2_NORM, compute_descriptors
 from .dog import build_dog, detect_keypoints
 from .gaussian import GaussianPyramid, build_gaussian_pyramid, gaussian_blur, gaussian_kernel1d
@@ -34,12 +42,18 @@ __all__ = [
     "detect_keypoints",
     "gaussian_blur",
     "gaussian_kernel1d",
+    "hamming_distances",
     "image_gradients",
     "is_unit_normalized",
     "keypoints_to_arrays",
     "orientation_histogram",
+    "pack_bits",
     "pad_or_trim",
     "remove_border_keypoints",
+    "popcount",
     "rootsift",
     "select_top_features",
+    "sign_planes",
+    "unpack_bits",
+    "words_for_bits",
 ]

@@ -7,7 +7,7 @@ and memory pools.  See DESIGN.md Sec. 2 for the substitution rationale
 and :mod:`repro.gpusim.calibration` for every anchored constant.
 """
 
-from .calibration import GemmCalibration, KernelCalibration, ScanCalibration
+from .calibration import GemmCalibration, HammingCalibration, KernelCalibration, ScanCalibration
 from .clock import SimClock, s_to_us, us_to_s
 from .device import (
     DEVICE_REGISTRY,
@@ -23,6 +23,7 @@ from .kernels import (
     dtype_bytes,
     elementwise_us,
     gemm_us,
+    hamming_us,
     insertion_sort_us,
     norm_vector_us,
     postprocess_us,
@@ -42,6 +43,7 @@ __all__ = [
     "Event",
     "GPUDevice",
     "GemmCalibration",
+    "HammingCalibration",
     "KernelCalibration",
     "MemoryPool",
     "ScanCalibration",
@@ -62,6 +64,7 @@ __all__ = [
     "gemm_us",
     "get_device_spec",
     "h2d_time_us",
+    "hamming_us",
     "insertion_sort_us",
     "norm_vector_us",
     "postprocess_us",

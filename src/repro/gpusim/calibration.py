@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 
 from .device import DeviceSpec, TESLA_P100
 
-__all__ = ["GemmCalibration", "ScanCalibration", "KernelCalibration"]
+__all__ = ["GemmCalibration", "HammingCalibration", "ScanCalibration", "KernelCalibration"]
 
 
 @dataclass(frozen=True)
@@ -44,6 +44,34 @@ class GemmCalibration:
         if work_flops <= 0:
             return 0.0
         return self.eff_max * work_flops / (work_flops + self.w_half_flops)
+
+
+@dataclass(frozen=True)
+class HammingCalibration:
+    """Integer XOR/popcount model for the cascade Hamming prefilter.
+
+    The prefilter compares packed uint64 signatures pairwise: each
+    word-pair costs ``int_ops_per_word`` integer instructions (XOR,
+    ``__popc``, accumulate — the per-column threshold reduction is
+    folded into the same factor).  Integer ALU throughput on
+    Pascal/Volta is tied to the FP32 pipelines, so peak is modelled as
+    ``peak_int_fraction`` of the FP32 peak: popcount issues one op per
+    word but shares issue slots with the address math, landing near
+    half rate.  The same saturating-efficiency ramp as
+    :class:`GemmCalibration` applies (small candidate sets cannot fill
+    the SMs), and a bandwidth wall covers the signature reads.
+    """
+
+    eff_max: float = 0.60
+    w_half_iops: float = 2.0e7
+    int_ops_per_word: float = 3.0
+    peak_int_fraction: float = 0.5
+    bw_fraction: float = 0.60
+
+    def efficiency(self, work_iops: float) -> float:
+        if work_iops <= 0:
+            return 0.0
+        return self.eff_max * work_iops / (work_iops + self.w_half_iops)
 
 
 @dataclass(frozen=True)
@@ -99,6 +127,9 @@ class KernelCalibration:
     gemm_fp16: GemmCalibration
     gemm_tensor: GemmCalibration
     scan: ScanCalibration
+    #: integer XOR/popcount model for the cascade Hamming prefilter;
+    #: ``w_half`` scales with FP32 peak in :meth:`for_device`.
+    hamming: HammingCalibration = field(default_factory=HammingCalibration)
     #: per-element cost of the modified insertion sort baseline (ns);
     #: anchored so the 768x768 batch-1 sort lands on 221.5 us (Table 1).
     insertion_sort_ns: float = 266.5
@@ -186,6 +217,9 @@ class KernelCalibration:
             gemm_fp16=gemm_fp16,
             gemm_tensor=gemm_tensor,
             scan=scan,
+            # Integer throughput tracks the FP32 pipelines, so the ramp
+            # midpoint scales with FP32 peak (like the GEMM w_half).
+            hamming=HammingCalibration(w_half_iops=2.0e7 * flops_ratio_32),
             # The result gather is a device-side strided copy; its
             # effective rate scales with HBM bandwidth (3.5 GB/s anchor
             # on P100's 732 GB/s, Table 1 step 8).

@@ -30,6 +30,7 @@ from .kernels import (
     dtype_bytes,
     elementwise_us,
     gemm_us,
+    hamming_us,
     insertion_sort_us,
     norm_vector_us,
     postprocess_us,
@@ -188,6 +189,19 @@ class GPUDevice:
         step: str = "GEMM",
     ) -> float:
         dur = gemm_us(self.spec, self.cal, m, n, k, batch, dtype, tensor_core)
+        return self.submit("compute", dur, stream, step)
+
+    def hamming_prefilter(
+        self,
+        m: int,
+        n: int,
+        words: int,
+        batch: int = 1,
+        stream: Optional[Stream] = None,
+        step: str = "Hamming prefilter",
+    ) -> float:
+        """Cascade XOR/popcount prune ahead of the exact GEMM."""
+        dur = hamming_us(self.spec, self.cal, m, n, words, batch)
         return self.submit("compute", dur, stream, step)
 
     def top2_scan(

@@ -23,6 +23,7 @@ from .pcie import d2h_result_time_us
 __all__ = [
     "dtype_bytes",
     "gemm_us",
+    "hamming_us",
     "top2_scan_us",
     "insertion_sort_us",
     "elementwise_us",
@@ -71,6 +72,35 @@ def gemm_us(
     peak = spec.peak_tflops(dtype, tensor_core) * 1e12
     eff = cal.gemm(dtype, tensor_core).efficiency(flops)
     return spec.kernel_launch_us + flops / (peak * eff) * 1e6
+
+
+def hamming_us(
+    spec: DeviceSpec,
+    cal: KernelCalibration,
+    m: int,
+    n: int,
+    words: int,
+    batch: int = 1,
+) -> float:
+    """Time of the bucketed XOR/popcount Hamming prefilter.
+
+    Compares ``n`` query signatures against ``m`` reference signatures
+    per image over ``batch`` images, each signature ``words`` packed
+    uint64 words.  Integer-ALU bound at scale (XOR + ``__popc`` +
+    accumulate per word-pair), with the :class:`HammingCalibration`
+    occupancy ramp for small candidate sets and a bandwidth wall on the
+    signature reads.  This is the cost the cascade backend pays *before*
+    the GEMM — the prune is cheap, not free.
+    """
+    _check_shape(m=m, n=n, words=words, batch=batch)
+    ham = cal.hamming
+    iops = ham.int_ops_per_word * m * n * words * batch
+    peak = spec.fp32_tflops * 1e12 * ham.peak_int_fraction
+    eff = ham.efficiency(iops)
+    compute_bound = iops / (peak * eff) * 1e6
+    bytes_read = (m + n) * words * 8 * batch
+    bw_bound = bytes_read / (spec.mem_bandwidth_gbs * ham.bw_fraction * 1e9) * 1e6
+    return spec.kernel_launch_us + max(compute_bound, bw_bound)
 
 
 def top2_scan_us(

@@ -48,6 +48,7 @@ import numpy as np
 
 from ..baselines.cbir_ivf import kmeans
 from ..baselines.lsh import LshCodec
+from ..features.binarize import unpack_bits
 from ..obs import default_registry, default_tracer
 
 __all__ = [
@@ -562,10 +563,7 @@ class LshCandidateRouter(CandidateRouter):
     def _band_values(self, codes: np.ndarray) -> np.ndarray:
         """``(count, n_words)`` packed signatures -> ``(count, n_bands)``
         integer band values."""
-        bits = np.zeros((codes.shape[0], self.policy.n_bits), dtype=np.uint8)
-        for b in range(self.policy.n_bits):
-            word, offset = divmod(b, 64)
-            bits[:, b] = (codes[:, word] >> np.uint64(offset)) & np.uint64(1)
+        bits = unpack_bits(codes, self.policy.n_bits)
         width = self.policy.band_bits
         weights = (1 << np.arange(width, dtype=np.uint64))
         bands = np.empty((codes.shape[0], self.n_bands), dtype=np.uint64)

@@ -54,7 +54,9 @@ def enrolled(engine, count=8):
 class TestRegistry:
     def test_builtins_registered(self):
         names = available_backends()
-        for expected in ("algorithm1", "algorithm2", "garcia", "opencv", "lsh"):
+        for expected in (
+            "algorithm1", "algorithm2", "garcia", "opencv", "lsh", "cascade",
+        ):
             assert expected in names
 
     def test_aliases(self):
@@ -65,6 +67,28 @@ class TestRegistry:
     def test_unknown_backend_rejected_at_config(self):
         with pytest.raises(ValueError, match="unknown backend"):
             EngineConfig(backend="faiss")
+
+    def test_unknown_backend_error_lists_every_registered_name(self):
+        with pytest.raises(ValueError) as excinfo:
+            canonical_backend("faiss")
+        message = str(excinfo.value)
+        for name in available_backends():
+            assert name in message
+        # aliases advertised alongside their targets
+        assert "rootsift->algorithm2" in message
+        assert "cublas->algorithm1" in message
+
+    def test_unknown_backend_error_includes_runtime_registrations(self):
+        register_kernel("bespoke", MatchKernel)
+        try:
+            with pytest.raises(ValueError, match="bespoke"):
+                canonical_backend("nope")
+        finally:
+            _CUSTOM.pop("bespoke", None)
+        # and gone again once unregistered
+        with pytest.raises(ValueError) as excinfo:
+            canonical_backend("nope")
+        assert "bespoke" not in str(excinfo.value)
 
     def test_use_rootsift_is_a_deprecated_alias(self):
         assert resolve_backend(EngineConfig()) == "algorithm2"

@@ -4,14 +4,14 @@ import numpy as np
 import pytest
 
 from repro.baselines import LshCodec, LshMatcher
-from repro.baselines.lsh import _popcount
+from repro.features.binarize import popcount
 from tests.conftest import make_descriptors, noisy_copy
 
 
 class TestPopcount:
     def test_known_values(self):
         vals = np.array([0, 1, 3, 255, 2**63], dtype=np.uint64)
-        np.testing.assert_array_equal(_popcount(vals), [0, 1, 2, 8, 1])
+        np.testing.assert_array_equal(popcount(vals), [0, 1, 2, 8, 1])
 
 
 class TestCodec:
