@@ -36,6 +36,9 @@ from ..obs import (
     default_registry,
     default_tracer,
 )
+from ..obs.slo import installed_engine as _slo_engine
+from ..obs.timeseries import advance_by as _ts_advance_by
+from ..obs.timeseries import installed_recorder as _ts_recorder
 from ..routing import CandidateRouter, RouteDecision, RouterPolicy
 from ..routing import build_router as _make_router
 from .breaker import BreakerPolicy
@@ -64,7 +67,7 @@ __all__ = [
 WEB_TIER_OVERHEAD_US = 2000.0
 
 #: version of the ``GET /stats`` payload shape; bump when keys change.
-STATS_SCHEMA_VERSION = 6
+STATS_SCHEMA_VERSION = 7
 
 _REG = default_registry()
 _TRACER = default_tracer()
@@ -406,6 +409,7 @@ class DistributedSearchSystem:
             count_op("update" if updated else "enroll")
             if span is not None:
                 span.set(node=node_id, epoch=epoch, updated=updated)
+        _ts_advance_by(WEB_TIER_OVERHEAD_US)
         return EnrollmentAck(
             ref_id=ref_id, node_id=node_id, epoch=epoch, updated=updated
         )
@@ -444,6 +448,7 @@ class DistributedSearchSystem:
             count_op("delete")
             if span is not None:
                 span.set(node=owner or "", epoch=epoch, deleted=deleted)
+        _ts_advance_by(WEB_TIER_OVERHEAD_US)
         return DeletionAck(
             ref_id=ref_id, node_id=owner or "", epoch=epoch, deleted=deleted
         )
@@ -804,6 +809,9 @@ class DistributedSearchSystem:
         deadline_expired = bool(deadline_skipped) or any(
             r.partial for r in per_node.values()
         )
+        # standalone searches drive the simulated telemetry clock
+        # relatively (no-op under a serving loop's exclusive scope)
+        _ts_advance_by(slowest_us + WEB_TIER_OVERHEAD_US)
         return ClusterSearchResult(
             matches=matches,
             per_node=per_node,
@@ -923,6 +931,7 @@ class DistributedSearchSystem:
             self._check_degradation(nominated, unsearched)
         elapsed = slowest_us + WEB_TIER_OVERHEAD_US
         deadline_expired = bool(deadline_skipped) or truncated
+        _ts_advance_by(elapsed)
         return ClusterGroupResult(
             results=[
                 ClusterSearchResult(
@@ -1158,4 +1167,40 @@ class DistributedSearchSystem:
                 "rate_limited_total": _REG.value("repro_web_rate_limited_total"),
                 "brownout_requests_total": _REG.value("repro_web_brownout_total"),
             },
+            "slo": self._slo_stats(),
         }
+
+    @staticmethod
+    def _slo_stats() -> dict:
+        """The schema-v7 ``"slo"`` block: state of the installed
+        time-series recorder and SLO engine (both optional — the block
+        reports ``enabled: False`` sides when nothing is installed, so
+        the key is always present and dashboards can gate on it)."""
+        recorder = _ts_recorder()
+        engine = _slo_engine()
+        block: dict = {
+            "recorder": {"enabled": False},
+            "engine": {"enabled": False},
+            "transitions": {},
+        }
+        if recorder is not None:
+            block["recorder"] = {
+                "enabled": True,
+                "interval_us": recorder.interval_us,
+                "retention": recorder.retention,
+                "now_us": recorder.now_us,
+                "n_samples": len(recorder),
+            }
+        if engine is not None:
+            block["engine"] = {"enabled": True, **engine.to_dict()}
+            block["transitions"] = {
+                state: sum(
+                    _REG.value(
+                        "repro_slo_transitions_total",
+                        policy=policy.name, to=state,
+                    )
+                    for policy in engine.policies
+                )
+                for state in ("ok", "warning", "critical")
+            }
+        return block

@@ -19,6 +19,7 @@ Routes::
     GET    /stats
     GET    /health
     GET    /metrics
+    GET    /metrics/history     {"names": [...]?, "since_us": t?, "limit": n?}
 
 ``POST /enroll`` and ``DELETE /reference/{id}`` are the *online*
 mutation path: responses carry the shard's new index ``epoch`` (the
@@ -394,6 +395,51 @@ def build_api(system: DistributedSearchSystem) -> Router:
             {
                 "content_type": "text/plain; version=0.0.4",
                 "text": default_registry().to_prometheus(),
+            },
+        )
+
+    @router.route("GET", "/metrics/history")
+    def metrics_history(request: Request) -> Response:
+        """Time-series sample history from the installed
+        :class:`~repro.obs.timeseries.TimeSeriesRecorder`.  Optional
+        body keys: ``names`` (list of metric families), ``since_us``
+        (drop older samples), ``limit`` (keep only the newest N).
+        Answers ``enabled: false`` with no recorder installed — history
+        is opt-in telemetry, not an error."""
+        from ..obs import installed_recorder
+
+        recorder = installed_recorder()
+        if recorder is None:
+            return Response(200, {"enabled": False, "samples": []})
+        names = request.body.get("names")
+        if names is not None:
+            if not isinstance(names, (list, tuple)) or not all(
+                isinstance(n, str) for n in names
+            ):
+                raise RestError(400, "'names' must be a list of metric names")
+        since_us = request.body.get("since_us")
+        if since_us is not None:
+            try:
+                since_us = float(since_us)
+            except (TypeError, ValueError) as exc:
+                raise RestError(
+                    400, f"'since_us' must be a number, got {since_us!r}"
+                ) from exc
+        limit = request.body.get("limit")
+        if limit is not None:
+            try:
+                limit = int(limit)
+            except (TypeError, ValueError) as exc:
+                raise RestError(
+                    400, f"'limit' must be an integer, got {limit!r}"
+                ) from exc
+            if limit < 0:
+                raise RestError(400, f"'limit' must be >= 0, got {limit}")
+        return Response(
+            200,
+            {
+                "enabled": True,
+                **recorder.history(names=names, since_us=since_us, limit=limit),
             },
         )
 

@@ -15,6 +15,14 @@ Two process-wide singletons tie the system's telemetry together:
   :class:`~repro.gpusim.tracing.TimelineTracer`'s simulated device
   lanes (:func:`to_perfetto`).
 
+On top of the cumulative registry sits an optional time-series layer:
+an installed :class:`TimeSeriesRecorder` scrapes the registry on the
+simulated clock into a ring buffer (windowed rates and sliding-window
+percentiles), and an :class:`SloEngine` evaluates declarative
+:class:`SloPolicy` objectives with multi-window burn-rate rules into an
+OK→WARNING→CRITICAL alert history (``GET /metrics/history``, the
+``"slo"`` stats block, and Perfetto counter tracks).
+
 See ``docs/observability.md`` for the metric catalogue, label
 conventions and how to open traces in Perfetto.
 """
@@ -36,27 +44,63 @@ from .reqctx import (
     current_deadline,
     deadline_scope,
 )
+from .slo import (
+    CRITICAL,
+    OK,
+    WARNING,
+    AlertEvent,
+    AlertLog,
+    BurnRateRule,
+    SeriesSelection,
+    SloEngine,
+    SloPolicy,
+    install_engine,
+    installed_engine,
+    uninstall_engine,
+)
+from .timeseries import (
+    TimeSeriesRecorder,
+    install_recorder,
+    installed_recorder,
+    uninstall_recorder,
+)
 from .tracing import RequestTracer, Span, default_tracer, to_perfetto
 
 __all__ = [
+    "AlertEvent",
+    "AlertLog",
+    "BurnRateRule",
+    "CRITICAL",
     "Counter",
     "DEFAULT_US_BUCKETS",
     "Deadline",
     "DeadlineFanOut",
     "Gauge",
+    "OK",
+    "WARNING",
     "Histogram",
     "MetricsRegistry",
     "RequestTracer",
+    "SeriesSelection",
+    "SloEngine",
+    "SloPolicy",
     "Span",
+    "TimeSeriesRecorder",
     "brownout_scope",
     "current_brownout",
     "current_deadline",
     "deadline_scope",
     "default_registry",
     "default_tracer",
+    "install_engine",
+    "install_recorder",
+    "installed_engine",
+    "installed_recorder",
     "reset_observability",
     "set_default_registry",
     "to_perfetto",
+    "uninstall_engine",
+    "uninstall_recorder",
 ]
 
 
@@ -69,3 +113,5 @@ def reset_observability() -> None:
     tracer = default_tracer()
     tracer.reset()
     tracer.disable()
+    uninstall_engine()
+    uninstall_recorder()

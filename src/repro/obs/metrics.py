@@ -35,6 +35,7 @@ from __future__ import annotations
 
 import json
 import math
+from bisect import bisect_left
 from typing import Iterable, Mapping, Sequence
 
 __all__ = [
@@ -67,8 +68,15 @@ def _format_value(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_label_value(value: str) -> str:
+    """Escape a label value per the Prometheus text format 0.0.4:
+    backslash, double-quote and line-feed must be backslash-escaped
+    (in that order — escaping the escapes first keeps it reversible)."""
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
 def _format_labels(labels: Mapping[str, str], extra: str = "") -> str:
-    parts = [f'{k}="{v}"' for k, v in labels.items()]
+    parts = [f'{k}="{_escape_label_value(v)}"' for k, v in labels.items()]
     if extra:
         parts.append(extra)
     return "{" + ",".join(parts) + "}" if parts else ""
@@ -252,11 +260,10 @@ class Histogram(_Metric):
             return
         self.sum += value
         self.count += 1
-        for i, bound in enumerate(self.buckets):
-            if value <= bound:
-                self.bucket_counts[i] += 1
-                return
-        self.bucket_counts[-1] += 1
+        # first bound >= value (bounds are sorted), overflow past the end
+        # — binary search instead of the linear scan; this sits on the
+        # engine's per-sweep hot path
+        self.bucket_counts[bisect_left(self.buckets, value)] += 1
 
     @property
     def mean(self) -> float:

@@ -8,7 +8,14 @@ enabled, then verifies the two exported surfaces:
   parser accepts, with the key series (cache, engine, web) non-zero;
 * the request tracer exports valid Perfetto/Chrome JSON whose deepest
   request lane nests at least five layers (web → cluster → node →
-  engine → cache).
+  engine → cache);
+* the time-series layer end-to-end: an installed
+  :class:`~repro.obs.timeseries.TimeSeriesRecorder` accumulates
+  samples on the simulated clock as cluster ops advance it, the SLO
+  engine evaluates its policies on the sample grid,
+  ``GET /metrics/history`` serves the ring buffer, ``GET /stats``
+  reports the schema-v7 ``"slo"`` block, and the Perfetto export
+  carries telemetry counter tracks next to the spans.
 
 Exit code 0 on success; any assertion failure is a non-zero exit, so
 CI can run this module directly as a smoke step.  The trace is written
@@ -23,7 +30,20 @@ import sys
 
 import numpy as np
 
-from . import default_registry, default_tracer, reset_observability
+from . import (
+    BurnRateRule,
+    SeriesSelection,
+    SloEngine,
+    SloPolicy,
+    TimeSeriesRecorder,
+    default_registry,
+    default_tracer,
+    install_engine,
+    install_recorder,
+    reset_observability,
+    uninstall_engine,
+    uninstall_recorder,
+)
 
 
 def _make_descriptors(count: int, seed: int, d: int = 32) -> np.ndarray:
@@ -132,6 +152,86 @@ def run_smoke(trace_path: str = "obs_trace.json") -> dict:
     )
     assert depth >= 5, f"deepest trace nests {depth} layers, need >= 5"
 
+    # ---- time-series + SLO surface --------------------------------------
+    # install a recorder on the simulated clock (each cluster search
+    # advances it by the search's elapsed simulated time) and an SLO
+    # engine evaluating on its sample grid
+    recorder = TimeSeriesRecorder(interval_us=2_000.0, retention=128)
+    install_recorder(recorder)
+    engine = SloEngine(
+        [
+            SloPolicy(
+                name="sweep-latency", kind="latency", objective=0.5,
+                metric="repro_engine_sweep_us", threshold_us=100.0,
+                critical=BurnRateRule(4_000.0, 16_000.0, 1.5),
+                warning=BurnRateRule(8_000.0, 32_000.0, 1.0),
+            ),
+            SloPolicy(
+                name="search-availability", kind="availability", objective=0.99,
+                error_series=(
+                    SeriesSelection("repro_cluster_partial_results_total"),
+                ),
+                total_series=(SeriesSelection("repro_cluster_searches_total"),),
+                critical=BurnRateRule(4_000.0, 16_000.0, 10.0),
+                warning=BurnRateRule(8_000.0, 32_000.0, 2.0),
+            ),
+        ]
+    )
+    engine.attach(recorder)
+    install_engine(engine)
+
+    for i in range(6):
+        hit = web.handle(
+            Request("POST", "/search", {"descriptors": query.tolist(), "top": 1})
+        )
+        assert hit.response.ok, hit.response
+    recorder.flush()
+    assert len(recorder) >= 3, (
+        f"recorder took {len(recorder)} samples; cluster ops did not "
+        "advance the simulated clock"
+    )
+    search_rate = recorder.rate(
+        "repro_cluster_searches_total", recorder.now_us
+    )
+    assert search_rate > 0, "windowed search rate is zero after 6 searches"
+    assert engine.state_of("search-availability") == "ok", (
+        "healthy searches tripped the availability SLO: "
+        f"{engine.burns_of('search-availability')}"
+    )
+
+    history = web.handle(
+        Request("GET", "/metrics/history", {"names": [
+            "repro_cluster_searches_total", "repro_engine_sweep_us",
+        ]})
+    ).response
+    assert history.ok, history
+    assert history.body["enabled"], "history route reports recorder missing"
+    assert history.body["n_samples"] == len(recorder)
+    newest = history.body["samples"][-1]["series"]
+    assert "repro_cluster_searches_total" in newest, sorted(newest)
+
+    stats = web.handle(Request("GET", "/stats")).response
+    assert stats.ok, stats
+    assert stats.body["schema_version"] == 7, stats.body["schema_version"]
+    slo_block = stats.body["slo"]
+    assert slo_block["recorder"]["enabled"], slo_block
+    assert slo_block["engine"]["enabled"], slo_block
+    states = {p["name"]: p["state"] for p in slo_block["engine"]["policies"]}
+    assert set(states) == {"sweep-latency", "search-availability"}, states
+
+    counters = recorder.perfetto_counters(["repro_cluster_searches_total"])
+    merged = json.loads(tracer.to_perfetto(counters=counters))
+    counter_events = [
+        e for e in merged["traceEvents"] if e.get("ph") == "C"
+    ]
+    assert counter_events, "Perfetto export carries no counter tracks"
+    assert any(
+        e.get("name") == "process_name" and e["args"]["name"] == "telemetry"
+        for e in merged["traceEvents"]
+    ), "telemetry process metadata missing from Perfetto export"
+
+    uninstall_engine()
+    uninstall_recorder()
     tracer.disable()
     registry.enable()
     return {
@@ -139,6 +239,8 @@ def run_smoke(trace_path: str = "obs_trace.json") -> dict:
         "samples": len(samples),
         "spans": len(events),
         "max_depth": depth,
+        "timeseries_samples": len(recorder),
+        "slo_states": states,
         "trace_path": trace_path,
     }
 

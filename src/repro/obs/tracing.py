@@ -162,31 +162,38 @@ class RequestTracer:
         ]
 
     # -- export ---------------------------------------------------------
-    def to_perfetto(self, engine_events=()) -> str:
-        return to_perfetto(self.spans, engine_events)
+    def to_perfetto(self, engine_events=(), counters=()) -> str:
+        return to_perfetto(self.spans, engine_events, counters)
 
-    def export(self, path, engine_events=()) -> None:
+    def export(self, path, engine_events=(), counters=()) -> None:
         """Write the Perfetto JSON trace file."""
         from pathlib import Path
 
-        Path(path).write_text(self.to_perfetto(engine_events))
+        Path(path).write_text(self.to_perfetto(engine_events, counters))
 
 
-#: pids in the merged export: request spans above, device lanes below.
+#: pids in the merged export: request spans above, device lanes below,
+#: telemetry counter tracks last.
 _REQUESTS_PID = 1
 _DEVICE_PID = 2
+_TELEMETRY_PID = 3
 
 
-def to_perfetto(spans, engine_events=()) -> str:
-    """Merge request spans and simulated device rows into one
-    Chrome-tracing / Perfetto JSON document.
+def to_perfetto(spans, engine_events=(), counters=()) -> str:
+    """Merge request spans, simulated device rows and telemetry counter
+    tracks into one Chrome-tracing / Perfetto JSON document.
 
     ``spans`` are :class:`Span` objects (host-clock timestamps, one
     lane per trace under the ``requests`` process); ``engine_events``
     are :class:`~repro.gpusim.tracing.TraceEvent`-shaped objects
     (simulated timestamps, one lane per device engine under the
-    ``device`` process).  The two processes keep their own timebases —
-    Perfetto renders them as separate tracks in the same file.
+    ``device`` process); ``counters`` are
+    ``{"series", "ts", "value"}`` dicts, typically from
+    :meth:`repro.obs.timeseries.TimeSeriesRecorder.perfetto_counters`
+    (simulated timestamps, one ``ph: "C"`` counter track per series
+    under the ``telemetry`` process).  The processes keep their own
+    timebases — Perfetto renders them as separate tracks in the same
+    file.
     """
     records: list[dict] = []
     trace_tids: dict[str, int] = {}
@@ -245,8 +252,28 @@ def to_perfetto(spans, engine_events=()) -> str:
                 "args": {"name": engine},
             }
         )
-    for pid, name in ((_REQUESTS_PID, "requests"), (_DEVICE_PID, "device")):
+    counter_series: set[str] = set()
+    for point in counters:
+        series = str(point["series"])
+        counter_series.add(series)
+        records.append(
+            {
+                "name": series,
+                "ph": "C",
+                "ts": point["ts"],
+                "pid": _TELEMETRY_PID,
+                "args": {"value": point["value"]},
+            }
+        )
+
+    for pid, name in (
+        (_REQUESTS_PID, "requests"),
+        (_DEVICE_PID, "device"),
+        (_TELEMETRY_PID, "telemetry"),
+    ):
         if pid == _DEVICE_PID and not engines:
+            continue
+        if pid == _TELEMETRY_PID and not counter_series:
             continue
         records.append(
             {"name": "process_name", "ph": "M", "pid": pid, "args": {"name": name}}

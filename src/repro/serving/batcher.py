@@ -32,6 +32,8 @@ from typing import Any, Iterable, Sequence
 
 from ..errors import ExecutorContractError
 from ..obs import deadline_scope, default_registry, default_tracer
+from ..obs.timeseries import advance_to as _ts_advance_to
+from ..obs.timeseries import exclusive_clock as _ts_exclusive_clock
 from .metrics import GROUP_SIZE_BUCKETS, Rejected, ServingMeters, ServingReport
 
 _REG = default_registry()
@@ -63,6 +65,18 @@ _SHED = _REG.counter(
     "Requests shed by the serving tier, by reason",
     ("reason",),
 )
+_COMPLETIONS = _REG.counter(
+    "repro_serving_completions_total",
+    "Requests completed by the serving tier, by SLO outcome "
+    "(good = finished within its deadline or had none)",
+    ("outcome",),
+)
+_LATENCY_US = _REG.histogram(
+    "repro_serving_latency_us",
+    "End-to-end simulated request latency (queue wait + execution)",
+)
+_COMPLETED_GOOD = _COMPLETIONS.labels(outcome="good")
+_COMPLETED_LATE = _COMPLETIONS.labels(outcome="late")
 _GROUP_SIZE_TRIGGER = _SERVING_GROUPS.labels(trigger="size")
 _GROUP_TIMEOUT_TRIGGER = _SERVING_GROUPS.labels(trigger="timeout")
 
@@ -308,6 +322,9 @@ def simulate_serving(
         depth = len(batcher)
         _QUEUE_DEPTH.set(depth)
         meters.observe_queue_depth(depth)
+        # this loop owns the absolute timeline: feed it to an installed
+        # time-series recorder so samples land on simulated boundaries
+        _ts_advance_to(t)
         if t < free_at:
             # device busy: late arrivals admitted above join the next
             # group once the running sweep completes.
@@ -345,11 +362,15 @@ def simulate_serving(
             size=len(group), trigger=trig,
         ) as span:
             queries = [r.query for r in group]
-            if budgets:
-                with deadline_scope(min(budgets)):
+            # nested cluster calls advance the recorder *relatively*;
+            # suppress them here — this loop charges the same simulated
+            # time absolutely via advance_to below
+            with _ts_exclusive_clock():
+                if budgets:
+                    with deadline_scope(min(budgets)):
+                        payloads, elapsed_us = executor.execute(queries)
+                else:
                     payloads, elapsed_us = executor.execute(queries)
-            else:
-                payloads, elapsed_us = executor.execute(queries)
             if span is not None:
                 span.set(sim_elapsed_us=float(elapsed_us))
         if len(payloads) != len(group):
@@ -359,9 +380,15 @@ def simulate_serving(
                 executor=type(executor).__name__,
             )
         completed = t + float(elapsed_us)
+        # launch-time events are stamped at t (the clock's position)…
         (_GROUP_SIZE_TRIGGER if trig == "size" else _GROUP_TIMEOUT_TRIGGER).inc()
         _GROUP_SIZE.observe(float(len(group)))
         meters.observe_group(len(group))
+        for request in group:
+            _QUEUE_WAIT_US.observe(t - request.arrival_us)
+        # …then the clock advances before events stamped at `completed`,
+        # so a sample at a boundary in (t, completed] excludes them
+        _ts_advance_to(completed)
         group_id = len(groups)
         groups.append(
             GroupRecord(
@@ -373,7 +400,11 @@ def simulate_serving(
             )
         )
         for request, payload in zip(group, payloads):
-            _QUEUE_WAIT_US.observe(t - request.arrival_us)
+            _LATENCY_US.observe(completed - request.arrival_us)
+            if request.deadline_us is None or completed <= request.deadline_us:
+                _COMPLETED_GOOD.inc()
+            else:
+                _COMPLETED_LATE.inc()
             records.append(
                 RequestRecord(
                     request_id=request.request_id,
@@ -390,6 +421,7 @@ def simulate_serving(
 
     # the loop drained: leave the gauge telling the truth (an idle
     # queue), not frozen at the last pre-launch depth
+    _ts_advance_to(max(t, free_at))
     _QUEUE_DEPTH.set(0)
     meters.observe_queue_depth(0)
 
