@@ -83,7 +83,7 @@ def _kwargs_for(name: str, args: argparse.Namespace) -> dict:
             kwargs["queries_per_brick"] = args.queries
     if name == "backends" and args.backend:
         kwargs["backends"] = args.backend
-    if name in ("serving", "overload", "routing", "cascade", "slo") and args.quick:
+    if name in ("serving", "overload", "routing", "cascade", "slo", "elastic") and args.quick:
         kwargs["quick"] = True
     return kwargs
 

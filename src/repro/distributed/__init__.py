@@ -5,9 +5,11 @@ layer (health states, deterministic fault injection, retries and
 partial-result degradation), plus the overload-protection layer
 (admission control, circuit breakers, brownout) and the online
 enrollment layer (per-shard index epochs, tombstones,
-read-your-writes acks)."""
+read-your-writes acks), and the elastic tier (replica groups with
+graceful warm-up/drain lifecycles and the SLO-driven autoscaler)."""
 
 from .admission import AdmissionPolicy, TokenBucket
+from .autoscaler import Autoscaler, AutoscalerPolicy, ScalingEvent
 from .breaker import BreakerPolicy, BreakerState, CircuitBreaker
 from .enrollment import DeletionAck, EnrollmentAck, EpochRegistry, TombstoneLog
 from .cluster import (
@@ -22,6 +24,7 @@ from .health import HealthPolicy, HealthTracker, NodeHealth
 from .kvstore import KVStore
 from .loadbalancer import DispatchRecord, WebTier
 from .node import NodeConfig, SearchNode
+from .replica import ReplicaGroup, ReplicaState
 from .rest import Request, Response, Router, build_api
 from ..routing import RouterPolicy
 from .sharding import ConsistentHashPlacement, PlacementPolicy, RoundRobinPlacement
@@ -35,6 +38,8 @@ from .serialization import (
 
 __all__ = [
     "AdmissionPolicy",
+    "Autoscaler",
+    "AutoscalerPolicy",
     "BreakerPolicy",
     "BreakerState",
     "CircuitBreaker",
@@ -61,9 +66,12 @@ __all__ = [
     "KVStore",
     "WebTier",
     "NodeConfig",
+    "ReplicaGroup",
+    "ReplicaState",
     "Request",
     "Response",
     "Router",
+    "ScalingEvent",
     "SearchNode",
     "WEB_TIER_OVERHEAD_US",
     "build_api",

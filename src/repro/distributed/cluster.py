@@ -52,6 +52,12 @@ from .enrollment import (
 from .health import NodeHealth
 from .kvstore import KVStore
 from .node import NodeConfig, SearchNode
+from .replica import (
+    WARMUP_BASE_US,
+    WARMUP_US_PER_REF,
+    ReplicaGroup,
+    ReplicaState,
+)
 from .serialization import FeatureRecord, deserialize_record, serialize_record
 
 __all__ = [
@@ -67,7 +73,7 @@ __all__ = [
 WEB_TIER_OVERHEAD_US = 2000.0
 
 #: version of the ``GET /stats`` payload shape; bump when keys change.
-STATS_SCHEMA_VERSION = 7
+STATS_SCHEMA_VERSION = 8
 
 _REG = default_registry()
 _TRACER = default_tracer()
@@ -108,6 +114,18 @@ _UNROUTED_SKIPS = _REG.counter(
     "repro_cluster_unrouted_shards_total",
     "Populated shards deliberately not fanned out to because the "
     "candidate router nominated other shards (pruning, not faults)",
+)
+_REPLICA_RETRIES = _REG.counter(
+    "repro_cluster_replica_retries_total",
+    "Read slices transparently retried on a sibling replica after the "
+    "chosen reader failed (the shard only lands in unsearched_shards "
+    "when every serving replica is exhausted)",
+)
+_SCALE_EVENTS = _REG.counter(
+    "repro_cluster_scale_events_total",
+    "Fleet topology changes (shards commissioned/decommissioned, "
+    "replicas attached/detached)",
+    ("action",),
 )
 _ROUTER_HITS = _REG.counter(
     "repro_router_candidate_hit_total",
@@ -298,11 +316,14 @@ class DistributedSearchSystem:
         health_policy=None,
         breaker_policy: BreakerPolicy | None = None,
         router_policy: RouterPolicy | None = None,
+        replication_factor: int = 1,
     ) -> None:
         if n_nodes < 1:
             raise ClusterError("a cluster needs at least one node")
         if not 0.0 <= min_shard_fraction <= 1.0:
             raise ClusterError("min_shard_fraction must be in [0, 1]")
+        if replication_factor < 1:
+            raise ClusterError("replication_factor must be >= 1")
         self.engine_config = engine_config or EngineConfig(m=384, n=768)
         self.store = store or KVStore()
         #: durable per-shard epoch marks + deletion tombstones (the
@@ -323,6 +344,12 @@ class DistributedSearchSystem:
         self._breaker_policy = breaker_policy
         self._node_seq = n_nodes  # next fresh node index (ids are never reused)
         self.fault_injector = None
+        self.replication_factor = int(replication_factor)
+        #: autoscaler attached via :meth:`Autoscaler.attach` (stats only).
+        self.autoscaler = None
+        #: node-seconds cost accounting on the simulated clock.
+        self._node_started_us: dict[str, float] = {}
+        self._node_seconds_retired = 0.0
         self.nodes = [
             SearchNode(
                 f"gpu-{i:02d}", self.engine_config, device_spec, node_config,
@@ -330,22 +357,33 @@ class DistributedSearchSystem:
             )
             for i in range(n_nodes)
         ]
+        #: shard_id -> the replica group serving that shard.  Shard ids
+        #: are minted from the founding primary's node id, so with
+        #: ``replication_factor=1`` the topology (and every result
+        #: payload keyed by shard) is bit-identical to the pre-replica
+        #: system.
+        self.groups: dict[str, ReplicaGroup] = {}
         for node in self.nodes:
             # a rebuilt cluster over a pre-existing store continues each
             # shard's epoch sequence instead of restarting from zero
             node.epoch = self.epochs.get(node.node_id)
+            self.groups[node.node_id] = ReplicaGroup(node.node_id, [node])
+            self._stamp_start(node)
         from .sharding import ConsistentHashPlacement, RoundRobinPlacement
 
-        node_ids = [node.node_id for node in self.nodes]
+        shard_ids = [node.node_id for node in self.nodes]
         if placement == "round-robin":
-            self.placement = RoundRobinPlacement(node_ids)
+            self.placement = RoundRobinPlacement(shard_ids)
         elif placement == "consistent-hash":
-            self.placement = ConsistentHashPlacement(node_ids)
+            self.placement = ConsistentHashPlacement(shard_ids)
         else:
             raise ClusterError(f"unknown placement policy {placement!r}")
         self._placement: dict[str, str] = {}
         if fault_injector is not None:
             fault_injector.install(self)
+        for shard_id in list(self.groups):
+            for _ in range(self.replication_factor - 1):
+                self.add_replica(shard_id)
 
     # ------------------------------------------------------------------
     def _node_by_id(self, node_id: str) -> SearchNode:
@@ -354,11 +392,82 @@ class DistributedSearchSystem:
                 return node
         raise ClusterError(f"unknown node {node_id!r}")
 
+    def _group_for_shard(self, shard_id: str) -> ReplicaGroup:
+        try:
+            return self.groups[shard_id]
+        except KeyError:
+            raise ClusterError(f"unknown shard {shard_id!r}") from None
+
+    def _group_of_node(self, node_id: str) -> ReplicaGroup | None:
+        for group in self.groups.values():
+            if group.get(node_id) is not None:
+                return group
+        return None
+
+    def _clock_us(self) -> float | None:
+        """Current simulated instant, or ``None`` when no telemetry
+        clock is installed (then warm-up/drain time is not modelled)."""
+        recorder = _ts_recorder()
+        return recorder.now_us if recorder is not None else None
+
+    def _stamp_start(self, node: SearchNode) -> None:
+        now = self._clock_us()
+        self._node_started_us[node.node_id] = 0.0 if now is None else now
+
+    def _retire_node(self, node: SearchNode) -> None:
+        started = self._node_started_us.pop(node.node_id, None)
+        now = self._clock_us()
+        if started is not None and now is not None:
+            self._node_seconds_retired += max(now - started, 0.0) / 1e6
+
+    def node_seconds(self) -> float:
+        """Fleet cost so far in node-seconds of simulated time (retired
+        nodes' lifetimes plus every live node's time since attach)."""
+        total = self._node_seconds_retired
+        now = self._clock_us()
+        if now is None:
+            return total
+        for node in self.nodes:
+            started = self._node_started_us.get(node.node_id)
+            if started is not None:
+                total += max(now - started, 0.0) / 1e6
+        return total
+
+    def _replica_unreachable(self, node: SearchNode) -> bool:
+        """Whether a mutation cannot land on this replica right now (it
+        is behind from here on; repair detaches it when siblings hold
+        the shard)."""
+        if node.health.state is NodeHealth.DOWN:
+            return True
+        return (
+            self.fault_injector is not None
+            and self.fault_injector.is_crashed(node.node_id)
+        )
+
+    def _mutate_group(self, group: ReplicaGroup, op) -> None:
+        """Apply one corpus mutation to every replica of ``group`` so
+        all replicas advance the same epoch sequence in lockstep.
+
+        Warming and draining replicas are included (they must stay
+        consistent for promotion / in-flight work).  An unreachable
+        replica is skipped *only when siblings exist* — it has diverged
+        and repair will detach it; a single-replica shard mutates
+        unconditionally, exactly the pre-replica behaviour (the KV
+        store remains the system of record either way).
+        """
+        siblings = len(group.nodes) > 1
+        for node in group.nodes:
+            if siblings and self._replica_unreachable(node):
+                continue
+            op(node)
+
     def add(self, ref_id: str, descriptors: np.ndarray) -> str:
-        """Enrol a reference; returns the node that owns the shard.
+        """Enrol a reference; returns the shard that owns it.
 
         The raw descriptors are also persisted in the KV store (the
         system of record) so containers can re-hydrate after restarts.
+        Every replica of the owning shard observes the mutation, so the
+        group's ``corpus_epoch`` advances in lockstep.
         """
         ref_id = str(ref_id)
         record = FeatureRecord(
@@ -369,19 +478,19 @@ class DistributedSearchSystem:
         )
         self.store.set(f"feature:{ref_id}", serialize_record(record))
         if ref_id in self._placement:
-            node = self._node_by_id(self._placement[ref_id])  # update in place
+            group = self._group_for_shard(self._placement[ref_id])  # update in place
         else:
-            node = self._node_by_id(self.placement.place(ref_id))
-            self._placement[ref_id] = node.node_id
-        node.add(ref_id, descriptors)
-        self.store.hset("placement", ref_id, node.node_id.encode())
+            group = self._group_for_shard(self.placement.place(ref_id))
+            self._placement[ref_id] = group.shard_id
+        self._mutate_group(group, lambda node: node.add(ref_id, descriptors))
+        self.store.hset("placement", ref_id, group.shard_id.encode())
         # the blob supersedes any earlier delete of this id; clearing
         # the tombstone makes re-enrollment a fresh logical record
         self.tombstones.clear(ref_id)
-        self.epochs.record(node.node_id, node.epoch)
+        self.epochs.record(group.shard_id, group.epoch)
         if self._router is not None:
-            self._router.add(ref_id, record.matrix, node.node_id)
-        return node.node_id
+            self._router.add(ref_id, record.matrix, group.shard_id)
+        return group.shard_id
 
     def enroll(self, ref_id: str, descriptors: np.ndarray) -> EnrollmentAck:
         """Online enrollment under live traffic; returns an ack whose
@@ -398,33 +507,40 @@ class DistributedSearchSystem:
         ref_id = str(ref_id)
         with _TRACER.span("enroll", layer="cluster", ref=ref_id, op="enroll") as span:
             updated = ref_id in self._placement
-            # peek, don't place: the gate must run against the node
+            # peek, don't place: the gate must run against the shard
             # add() will commit to, and round-robin's place() consumes
             # its cursor
             target = self._placement.get(ref_id) or self.placement.peek(ref_id)
-            node = self._node_by_id(target)
-            node._gate()
-            node_id = self.add(ref_id, descriptors)
-            epoch = self.epochs.get(node_id)
+            group = self._group_for_shard(target)
+            # gate the *full* replica set, not just the primary: the
+            # mutation must land on every active replica to keep the
+            # group's epochs in lockstep, so any crashed/flaky replica
+            # fails the enrollment before anything is persisted
+            for replica in group.active():
+                replica._gate()
+            shard_id = self.add(ref_id, descriptors)
+            epoch = self.epochs.get(shard_id)
             count_op("update" if updated else "enroll")
             if span is not None:
-                span.set(node=node_id, epoch=epoch, updated=updated)
+                span.set(node=shard_id, epoch=epoch, updated=updated)
         _ts_advance_by(WEB_TIER_OVERHEAD_US)
         return EnrollmentAck(
-            ref_id=ref_id, node_id=node_id, epoch=epoch, updated=updated
+            ref_id=ref_id, node_id=shard_id, epoch=epoch, updated=updated
         )
 
     def remove(self, ref_id: str) -> bool:
         ref_id = str(ref_id)
-        node_id = self._placement.pop(ref_id, None)
-        if node_id is None:
+        shard_id = self._placement.pop(ref_id, None)
+        if shard_id is None:
             return False
-        node = self._node_by_id(node_id)
+        group = self._group_for_shard(shard_id)
         # tombstone first: whatever replays after a crash from here on
-        # (re-hydration, warm restore, cache warming) sees the delete
-        self.tombstones.mark(ref_id, node_id, node.epoch + 1)
-        node.remove(ref_id)
-        self.epochs.record(node_id, node.epoch)
+        # (re-hydration, replica warm-up, cache warming) sees the
+        # delete — a replica that missed this mutation can never
+        # resurrect the reference on any sibling
+        self.tombstones.mark(ref_id, shard_id, group.epoch + 1)
+        self._mutate_group(group, lambda node: node.remove(ref_id))
+        self.epochs.record(shard_id, group.epoch)
         self.store.delete(f"feature:{ref_id}")
         self.store.hdel("placement", ref_id)
         if self._router is not None:
@@ -462,8 +578,8 @@ class DistributedSearchSystem:
     # ------------------------------------------------------------------
     # elasticity / failover
     # ------------------------------------------------------------------
-    def add_node(self, device_spec: DeviceSpec | None = None) -> SearchNode:
-        """Attach a fresh (empty) GPU container to the cluster.
+    def _mint_node(self, device_spec: DeviceSpec | None = None) -> SearchNode:
+        """Mint a fresh GPU container with the next id in the sequence.
 
         Ids are minted from a monotonically increasing sequence, never
         from the current node count: after ``remove_node`` the count
@@ -479,27 +595,137 @@ class DistributedSearchSystem:
             breaker_policy=self._breaker_policy,
         )
         self._node_seq += 1
-        node.epoch = self.epochs.get(node.node_id)
         if self.fault_injector is not None:
             node.fault_injector = self.fault_injector
-        self.nodes.append(node)
-        self.placement.add_node(node.node_id)
         return node
 
-    def remove_node(self, node_id: str) -> int:
-        """Decommission a container, redistributing its shard.
+    def add_node(self, device_spec: DeviceSpec | None = None) -> SearchNode:
+        """Attach a fresh (empty) GPU container as a new shard."""
+        node = self._mint_node(device_spec)
+        node.epoch = self.epochs.get(node.node_id)
+        self.nodes.append(node)
+        self.groups[node.node_id] = ReplicaGroup(node.node_id, [node])
+        self.placement.add_node(node.node_id)
+        self._stamp_start(node)
+        _SCALE_EVENTS.labels(action="add_shard").inc()
+        return node
 
-        The KV store is the system of record (Sec. 8), so the departing
-        node's references are re-hydrated from their serialized records
-        onto the surviving nodes round-robin.  Returns the number of
+    def add_replica(self, shard_id: str) -> SearchNode:
+        """Attach a fresh replica to an existing shard's group.
+
+        The replica warms its hybrid cache from the KV store (the
+        system of record; tombstoned references are skipped so a delete
+        that raced the warm-up never resurrects), syncs its index epoch
+        from the durable registry, and — when a telemetry clock is
+        installed — enters ``WARMING`` until its readiness gate at
+        ``now + WARMUP_BASE_US + WARMUP_US_PER_REF * n_refs`` passes.
+        It observes corpus mutations from the moment it is attached, so
+        it is consistent the instant it starts serving.
+        """
+        group = self._group_for_shard(shard_id)
+        node = self._mint_node()
+        with _TRACER.span(
+            "cluster.add_replica", layer="cluster", shard=shard_id,
+        ) as span:
+            keys = [
+                f"feature:{ref}"
+                for ref, owner in sorted(self._placement.items())
+                if owner == group.shard_id
+            ]
+            loaded = node.hydrate_from_store(self.store, keys)
+            node.epoch = max(self.epochs.get(group.shard_id), group.epoch)
+            now = self._clock_us()
+            if now is not None:
+                node.replica_state = ReplicaState.WARMING
+                node.ready_at_us = (
+                    now + WARMUP_BASE_US + WARMUP_US_PER_REF * node.n_references
+                )
+            self.nodes.append(node)
+            group.attach(node)
+            self._stamp_start(node)
+            if span is not None:
+                span.set(node=node.node_id, warmed=loaded)
+        _SCALE_EVENTS.labels(action="add_replica").inc()
+        return node
+
+    def remove_replica(self, shard_id: str, node_id: str | None = None) -> SearchNode:
+        """Gracefully shrink a shard's group by one replica.
+
+        The chosen replica (the newest attached, unless ``node_id``
+        picks one) stops taking new reads immediately, keeps observing
+        mutations while it finishes in-flight work, and is detached
+        after ``DRAIN_GRACE_US`` of simulated time by
+        :meth:`poll_lifecycle` (immediately when no clock is
+        installed).  The last replica of a shard cannot be removed this
+        way — that is shard decommissioning (:meth:`remove_node`).
+        """
+        group = self._group_for_shard(shard_id)
+        active = group.active()
+        if len(active) <= 1:
+            raise ClusterError(
+                f"cannot remove the last replica of shard {shard_id!r}; "
+                "use remove_node to decommission the shard"
+            )
+        node = group.get(node_id) if node_id is not None else active[-1]
+        if node is None:
+            raise ClusterError(f"shard {shard_id!r} has no replica {node_id!r}")
+        if node.replica_state is ReplicaState.DRAINING:
+            return node
+        now = self._clock_us()
+        node.replica_state = ReplicaState.DRAINING
+        node.draining_since_us = 0.0 if now is None else now
+        _SCALE_EVENTS.labels(action="remove_replica").inc()
+        self.poll_lifecycle()
+        return node
+
+    def poll_lifecycle(self) -> list[str]:
+        """Advance replica lifecycles on the simulated clock: promote
+        warming replicas whose readiness gate passed, detach draining
+        replicas whose grace elapsed.  Returns the detached node ids."""
+        now = self._clock_us()
+        detached: list[str] = []
+        for group in self.groups.values():
+            group.promote_ready(now)
+            for node in group.drained(now):
+                if len(group.nodes) <= 1:
+                    continue  # never drain away a shard's only replica
+                self._detach_replica(group, node)
+                detached.append(node.node_id)
+        return detached
+
+    def _detach_replica(self, group: ReplicaGroup, node: SearchNode) -> None:
+        """Drop one replica from its group (siblings keep the shard, so
+        nothing re-hydrates and no placement changes)."""
+        group.detach(node.node_id)
+        self.nodes.remove(node)
+        self._retire_node(node)
+
+    def remove_node(self, node_id: str) -> int:
+        """Decommission a container.
+
+        A container whose replica group has siblings is simply detached
+        — the siblings keep serving the shard, nothing moves.  The last
+        replica of a shard decommissions the whole shard: the KV store
+        is the system of record (Sec. 8), so the departing shard's
+        references are re-hydrated from their serialized records onto
+        the surviving shards round-robin.  Returns the number of
         references reassigned.  Removing the last node raises.
         """
+        victim = self._node_by_id(node_id)
+        group = self._group_of_node(node_id)
+        if group is not None and len(group.nodes) > 1:
+            self._detach_replica(group, victim)
+            _SCALE_EVENTS.labels(action="remove_replica").inc()
+            return 0
         if len(self.nodes) <= 1:
             raise ClusterError("cannot remove the last node")
-        victim = self._node_by_id(node_id)
+        shard_id = victim.shard_id
         self.nodes.remove(victim)
-        self.placement.remove_node(node_id)
-        orphaned = [ref for ref, owner in self._placement.items() if owner == node_id]
+        self.groups.pop(shard_id, None)
+        self._retire_node(victim)
+        self.placement.remove_node(shard_id)
+        _SCALE_EVENTS.labels(action="remove_shard").inc()
+        orphaned = [ref for ref, owner in self._placement.items() if owner == shard_id]
         adopters: set[str] = set()
         for ref_id in orphaned:
             blob = self.store.get(f"feature:{ref_id}")
@@ -513,19 +739,20 @@ class DistributedSearchSystem:
                 if self._router is not None:
                     self._router.remove(ref_id)
                 continue
-            node = self._node_by_id(self.placement.place(ref_id))
-            node.add_record(deserialize_record(blob))
-            self._placement[ref_id] = node.node_id
-            self.store.hset("placement", ref_id, node.node_id.encode())
-            adopters.add(node.node_id)
+            adopter = self._group_for_shard(self.placement.place(ref_id))
+            record = deserialize_record(blob)
+            self._mutate_group(adopter, lambda node: node.add_record(record))
+            self._placement[ref_id] = adopter.shard_id
+            self.store.hset("placement", ref_id, adopter.shard_id.encode())
+            adopters.add(adopter.shard_id)
             if self._router is not None:
-                self._router.reassign(ref_id, node.node_id)
+                self._router.reassign(ref_id, adopter.shard_id)
         # adopting shards advanced their epochs (re-hydration is a
         # mutation of their reference sets); the dead shard's mark is
         # retired with it
         for adopter_id in sorted(adopters):
-            self.epochs.record(adopter_id, self._node_by_id(adopter_id).epoch)
-        self.epochs.forget(node_id)
+            self.epochs.record(adopter_id, self._group_for_shard(adopter_id).epoch)
+        self.epochs.forget(shard_id)
         return len(orphaned)
 
     # ------------------------------------------------------------------
@@ -585,18 +812,18 @@ class DistributedSearchSystem:
         return self._router.nominate(queries, nprobe, recall_target)
 
     def _partition_routed(
-        self, populated: list[SearchNode], route: RouteDecision | None
-    ) -> tuple[list[SearchNode], list[str], bool]:
+        self, populated: list[ReplicaGroup], route: RouteDecision | None
+    ) -> tuple[list[ReplicaGroup], list[str], bool]:
         """Split the populated shard set by the route's nomination.
 
-        Returns ``(nominated_nodes, unrouted_shard_ids, routed)``;
+        Returns ``(nominated_groups, unrouted_shard_ids, routed)``;
         an exhaustive (or absent) route nominates everything.
         """
         if route is None or route.exhaustive:
             return populated, [], False
         shard_set = set(route.shard_ids)
-        nominated = [n for n in populated if n.node_id in shard_set]
-        unrouted = [n.node_id for n in populated if n.node_id not in shard_set]
+        nominated = [g for g in populated if g.shard_id in shard_set]
+        unrouted = [g.shard_id for g in populated if g.shard_id not in shard_set]
         if unrouted:
             _UNROUTED_SKIPS.inc(len(unrouted))
         return nominated, unrouted, True
@@ -672,7 +899,10 @@ class DistributedSearchSystem:
     def _populated_nodes(self) -> list[SearchNode]:
         return [node for node in self.nodes if node.n_references > 0]
 
-    def _gather_targets(self, populated: list[SearchNode]) -> tuple[list[SearchNode], list[str]]:
+    def _populated_groups(self) -> list[ReplicaGroup]:
+        return [g for g in self.groups.values() if g.n_references > 0]
+
+    def _gather_targets(self, populated: list[ReplicaGroup]) -> tuple[list[ReplicaGroup], list[str]]:
         """Apply any ambient brownout to the fan-out target set.
 
         When the web tier has entered brownout
@@ -681,7 +911,7 @@ class DistributedSearchSystem:
         request outright.  The fraction is floored at
         ``min_shard_fraction`` so a brownout can never *itself* trip
         :class:`DegradedClusterError`.  Returns ``(targets,
-        skipped_node_ids)``.
+        skipped_shard_ids)``.
         """
         fraction = current_brownout()
         if fraction is None or not populated:
@@ -690,7 +920,7 @@ class DistributedSearchSystem:
         keep = max(1, math.ceil(fraction * len(populated)))
         if keep >= len(populated):
             return populated, []
-        skipped = [node.node_id for node in populated[keep:]]
+        skipped = [group.shard_id for group in populated[keep:]]
         _BROWNOUT_SKIPS.inc(len(skipped))
         return populated[:keep], skipped
 
@@ -750,7 +980,7 @@ class DistributedSearchSystem:
                 query_descriptors, group=False,
                 nprobe=nprobe, recall_target=recall_target,
             )
-            populated = self._populated_nodes()
+            populated = self._populated_groups()
             nominated, unrouted, routed = self._partition_routed(populated, route)
             targets, brownout_skipped = self._gather_targets(nominated)
             deadline = current_deadline()
@@ -758,34 +988,46 @@ class DistributedSearchSystem:
             deadline_skipped: list[str] = []
             if fanout is not None and fanout.expired_at_entry:
                 # the budget was gone before the fan-out even started
-                deadline_skipped = [node.node_id for node in targets]
+                deadline_skipped = [group.shard_id for group in targets]
                 _DEADLINE_SKIPS.inc(len(deadline_skipped))
                 targets = []
-            for node in targets:
-                if node.breaker is not None and not node.breaker.allow():
-                    _BREAKER_SKIPS.inc()
-                    unsearched.append(node.node_id)
-                    continue
+            for group in targets:
                 candidates = (
-                    frozenset(route.per_shard.get(node.node_id, ()))
+                    frozenset(route.per_shard.get(group.shard_id, ()))
                     if routed else None
                 )
                 def op(n: SearchNode, c=candidates):
                     r = n.search(query_descriptors, candidate_ids=c)
                     return r, r.elapsed_us
 
-                if fanout is not None:
-                    with fanout.branch():
-                        result, node_us, node_retries = self._attempt_with_retry(node, op)
-                else:
-                    result, node_us, node_retries = self._attempt_with_retry(node, op)
-                slowest_us = max(slowest_us, node_us)
-                retries += node_retries
+                readers = group.readers(self._clock_us())
+                result = None
+                shard_us = 0.0
+                attempted = 0
+                for i, replica in enumerate(readers):
+                    if replica.breaker is not None and not replica.breaker.allow():
+                        _BREAKER_SKIPS.inc()
+                        continue
+                    if attempted:
+                        # the chosen reader failed; retry transparently
+                        # on the next sibling before giving up the shard
+                        _REPLICA_RETRIES.inc()
+                    attempted += 1
+                    if fanout is not None:
+                        with fanout.branch():
+                            result, node_us, node_retries = self._attempt_with_retry(replica, op)
+                    else:
+                        result, node_us, node_retries = self._attempt_with_retry(replica, op)
+                    shard_us += node_us  # sibling failover is sequential
+                    retries += node_retries
+                    if result is not None:
+                        break
+                slowest_us = max(slowest_us, shard_us)
                 if result is None:
-                    unsearched.append(node.node_id)
+                    unsearched.append(group.shard_id)
                     continue
-                per_node[node.node_id] = result
-                epochs_seen[node.node_id] = node.epoch
+                per_node[group.shard_id] = result
+                epochs_seen[group.shard_id] = group.epoch
                 matches.extend(result.matches)
                 images += result.images_searched
             if fanout is not None:
@@ -871,44 +1113,81 @@ class DistributedSearchSystem:
                 query_descriptor_list, group=True,
                 nprobe=nprobe, recall_target=recall_target,
             )
-            populated = self._populated_nodes()
+            populated = self._populated_groups()
             nominated, unrouted, routed = self._partition_routed(populated, route)
             targets, brownout_skipped = self._gather_targets(nominated)
             deadline = current_deadline()
             fanout = DeadlineFanOut(deadline) if deadline is not None else None
             deadline_skipped: list[str] = []
             if fanout is not None and fanout.expired_at_entry:
-                deadline_skipped = [node.node_id for node in targets]
+                deadline_skipped = [group.shard_id for group in targets]
                 _DEADLINE_SKIPS.inc(len(deadline_skipped))
                 targets = []
-            for node in targets:
-                if node.breaker is not None and not node.breaker.allow():
-                    _BREAKER_SKIPS.inc()
-                    unsearched.append(node.node_id)
-                    continue
+            for group in targets:
                 candidates = (
-                    frozenset(route.per_shard.get(node.node_id, ()))
+                    frozenset(route.per_shard.get(group.shard_id, ()))
                     if routed else None
                 )
-                def op(n: SearchNode, c=candidates):
-                    grouped = n.search_many(query_descriptor_list, candidate_ids=c)
-                    return grouped, max(r.elapsed_us for r in grouped)
-
-                if fanout is not None:
-                    with fanout.branch():
-                        grouped, node_us, node_retries = self._attempt_with_retry(node, op)
-                else:
-                    grouped, node_us, node_retries = self._attempt_with_retry(node, op)
-                slowest_us = max(slowest_us, node_us)
-                retries += node_retries
-                if grouped is None:
-                    unsearched.append(node.node_id)
+                # read scaling: the group's queries are partitioned
+                # round-robin across the shard's serving replicas, which
+                # sweep their slices concurrently — the shard's time is
+                # the slowest slice, not the whole group on one node
+                workers = []
+                for replica in group.readers(self._clock_us()):
+                    if replica.breaker is not None and not replica.breaker.allow():
+                        _BREAKER_SKIPS.inc()
+                        continue
+                    workers.append(replica)
+                if not workers:
+                    unsearched.append(group.shard_id)
                     continue
-                epochs_seen[node.node_id] = node.epoch
-                for q, result in enumerate(grouped):
+                n_workers = len(workers)
+                shard_us = 0.0
+                shard_results: dict[int, SearchResult] = {}
+                shard_failed = False
+                for w, replica in enumerate(workers):
+                    idxs = list(range(w, n_queries, n_workers))
+                    if not idxs:
+                        continue
+                    queries = [query_descriptor_list[i] for i in idxs]
+
+                    def op(n: SearchNode, q=queries, c=candidates):
+                        grouped = n.search_many(q, candidate_ids=c)
+                        return grouped, max(r.elapsed_us for r in grouped)
+
+                    # a failed slice is retried transparently on the
+                    # next sibling before the shard is given up
+                    chain = workers[w:] + workers[:w]
+                    grouped = None
+                    slice_us = 0.0
+                    for j, worker in enumerate(chain):
+                        if j:
+                            _REPLICA_RETRIES.inc()
+                        if fanout is not None:
+                            with fanout.branch():
+                                grouped, node_us, node_retries = self._attempt_with_retry(worker, op)
+                        else:
+                            grouped, node_us, node_retries = self._attempt_with_retry(worker, op)
+                        slice_us += node_us  # sibling failover is sequential
+                        retries += node_retries
+                        if grouped is not None:
+                            break
+                    shard_us = max(shard_us, slice_us)  # slices run concurrently
+                    if grouped is None:
+                        shard_failed = True
+                        break
+                    for i, result in zip(idxs, grouped):
+                        shard_results[i] = result
+                slowest_us = max(slowest_us, shard_us)
+                if shard_failed:
+                    unsearched.append(group.shard_id)
+                    continue
+                epochs_seen[group.shard_id] = group.epoch
+                for q in sorted(shard_results):
+                    result = shard_results[q]
                     truncated = truncated or result.partial
                     per_query_matches[q].extend(result.matches)
-                    per_node_all[q][node.node_id] = result
+                    per_node_all[q][group.shard_id] = result
                     per_query_images[q] += result.images_searched
                     per_query_pruned[q] += result.images_pruned
                     per_query_cascade[q] += result.cascade_pruned
@@ -996,21 +1275,36 @@ class DistributedSearchSystem:
             "nodes": beats,
             "references": self.n_references,
             "min_shard_fraction": self.min_shard_fraction,
+            "shards": {
+                shard_id: [n.node_id for n in group.nodes]
+                for shard_id, group in self.groups.items()
+            },
         }
 
     def repair(self) -> list[str]:
         """Fail over every ``DOWN`` node.
 
-        Each dead container is decommissioned through the
+        A dead replica whose group has siblings is simply detached —
+        the surviving replicas already hold the shard at the current
+        epoch, so failover costs nothing and no search ever degrades.
+        A shard's *last* replica is decommissioned through the
         :meth:`remove_node` machinery: its placement entries are
         re-hydrated from the KV store onto the survivors (references
         whose blobs were lost are dropped).  The last node is never
         removed — an all-down cluster has nowhere to fail over to.
-        Returns the ids of the nodes failed over.
+        Returns the ids of the nodes failed over.  Draining replicas
+        whose grace elapsed are detached on the way.
         """
+        self.poll_lifecycle()
         repaired: list[str] = []
         for node in list(self.nodes):
             if node.health.state is not NodeHealth.DOWN:
+                continue
+            group = self._group_of_node(node.node_id)
+            if group is not None and len(group.nodes) > 1:
+                self._detach_replica(group, node)
+                repaired.append(node.node_id)
+                _FAILOVERS.inc()
                 continue
             if len(self.nodes) <= 1:
                 break
@@ -1168,7 +1462,48 @@ class DistributedSearchSystem:
                 "brownout_requests_total": _REG.value("repro_web_brownout_total"),
             },
             "slo": self._slo_stats(),
+            "elastic": self._elastic_stats(),
         }
+
+    def elastic_report(self) -> dict:
+        """Fleet elasticity rollup for the ``GET /elastic`` route: the
+        stats v8 ``elastic`` block on its own, without the cost of the
+        full :meth:`stats` payload."""
+        return self._elastic_stats()
+
+    def _elastic_stats(self) -> dict:
+        """The schema-v8 ``"elastic"`` block: replica topology, replica
+        lifecycle counts, fleet cost, and scaling-event counters.  The
+        ``autoscaler`` side reports ``enabled: False`` until one is
+        attached, so the key is always present and dashboards can gate
+        on it."""
+        states = [node.replica_state for node in self.nodes]
+        block: dict = {
+            "replication": {
+                shard_id: len(group.nodes)
+                for shard_id, group in self.groups.items()
+            },
+            "replicas_total": len(self.nodes),
+            "shards_total": len(self.groups),
+            "warming": sum(1 for s in states if s is ReplicaState.WARMING),
+            "draining": sum(1 for s in states if s is ReplicaState.DRAINING),
+            "node_seconds": self.node_seconds(),
+            "scale_events": {
+                action: _REG.value(
+                    "repro_cluster_scale_events_total", action=action
+                )
+                for action in (
+                    "add_shard", "remove_shard", "add_replica", "remove_replica"
+                )
+            },
+            "replica_retries_total": _REG.value(
+                "repro_cluster_replica_retries_total"
+            ),
+            "autoscaler": {"enabled": False},
+        }
+        if self.autoscaler is not None:
+            block["autoscaler"] = {"enabled": True, **self.autoscaler.to_dict()}
+        return block
 
     @staticmethod
     def _slo_stats() -> dict:

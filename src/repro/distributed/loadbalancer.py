@@ -190,6 +190,12 @@ class WebTier:
         a real request: it is load-balanced and charged like any other)."""
         return self.handle(Request("GET", "/health")).response
 
+    def elastic(self) -> Response:
+        """Fleet elasticity rollup through a web worker
+        (``GET /elastic``): replica topology, warming/draining counts,
+        node-seconds cost, and autoscaler state."""
+        return self.handle(Request("GET", "/elastic")).response
+
     def enroll(self, ref_id: str, descriptors) -> Response:
         """Online enrollment through a web worker (``POST /enroll``).
 

@@ -22,6 +22,7 @@ from ..obs import default_tracer
 from .breaker import BreakerPolicy, CircuitBreaker
 from .health import HealthPolicy, HealthTracker, NodeHealth
 from .kvstore import KVStore
+from .replica import ReplicaState
 from .serialization import FeatureRecord, deserialize_record
 
 __all__ = ["NodeConfig", "SearchNode"]
@@ -79,6 +80,20 @@ class SearchNode:
         #: replacement node continues the sequence instead of
         #: restarting from zero.
         self.epoch = 0
+        #: logical shard this container replicates; until a
+        #: :class:`~repro.distributed.replica.ReplicaGroup` adopts the
+        #: node it is its own (single-replica) shard.
+        self.shard_id = self.node_id
+        #: replica lifecycle (see :mod:`repro.distributed.replica`); a
+        #: standalone node serves immediately, exactly the pre-replica
+        #: behaviour.
+        self.replica_state = ReplicaState.SERVING
+        #: simulated instant this replica's cache warm-up completes
+        #: (readiness gate for WARMING replicas).
+        self.ready_at_us = 0.0
+        #: simulated instant draining began (DRAINING replicas detach
+        #: after the grace period).
+        self.draining_since_us = 0.0
 
     # ------------------------------------------------------------------
     # fault gating
@@ -195,6 +210,8 @@ class SearchNode:
         self.health.heartbeats += 1
         beat = {
             "node_id": self.node_id,
+            "shard_id": self.shard_id,
+            "replica_state": self.replica_state.value,
             "references": self.n_references,
             "epoch": self.epoch,
             **self.health.snapshot(),
@@ -272,6 +289,8 @@ class SearchNode:
         gpu_used, host_used = self.engine.cache.used_bytes
         return {
             "node_id": self.node_id,
+            "shard_id": self.shard_id,
+            "replica_state": self.replica_state.value,
             "device": self.engine.device.spec.name,
             "backend": self.engine.backend,
             "health": self.health.state.value,

@@ -18,6 +18,7 @@ Routes::
                                  "budget_us": t}
     GET    /stats
     GET    /health
+    GET    /elastic
     GET    /metrics
     GET    /metrics/history     {"names": [...]?, "since_us": t?, "limit": n?}
 
@@ -384,6 +385,13 @@ def build_api(system: DistributedSearchSystem) -> Router:
     @router.route("GET", "/stats")
     def stats(request: Request) -> Response:
         return Response(200, system.stats())
+
+    @router.route("GET", "/elastic")
+    def elastic(request: Request) -> Response:
+        """Replica topology, lifecycle counts, fleet cost (node-seconds)
+        and autoscaler state — the stats v8 ``elastic`` block alone, so
+        a control plane can poll it cheaply."""
+        return Response(200, system.elastic_report())
 
     @router.route("GET", "/metrics")
     def metrics(request: Request) -> Response:

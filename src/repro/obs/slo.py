@@ -303,6 +303,12 @@ class SloEngine:
             "Alert state transitions per policy and destination state",
             labelnames=("policy", "to"),
         )
+        self._c_sink_errors = reg.counter(
+            "repro_slo_sink_errors_total",
+            "AlertSink callbacks that raised during dispatch (each sink "
+            "is isolated, so one hostile sink can neither abort "
+            "evaluation nor starve the other sinks)",
+        )
         for policy in self.policies:
             self._g_state.labels(policy=policy.name).set(0.0)
 
@@ -425,8 +431,14 @@ class SloEngine:
             float(_STATE_LEVEL[target])
         )
         self._c_transitions.labels(policy=policy.name, to=target).inc()
+        # the state machine committed above; sinks are observers and
+        # must not be able to unwind it — a raising sink is counted and
+        # skipped, the remaining sinks still see the event
         for sink in list(self._sinks):
-            sink(event)
+            try:
+                sink(event)
+            except Exception:
+                self._c_sink_errors.inc()
 
     # -- introspection --------------------------------------------------
     def state_of(self, name: str) -> str:

@@ -40,7 +40,12 @@ from .executors import (
     WebTierBatchExecutor,
 )
 from .metrics import Rejected, ServingMeters, ServingReport, percentile
-from .workload import burst_arrivals, poisson_arrivals
+from .workload import (
+    burst_arrivals,
+    diurnal_arrivals,
+    flash_crowd_arrivals,
+    poisson_arrivals,
+)
 
 __all__ = [
     "BatchPolicy",
@@ -59,6 +64,8 @@ __all__ = [
     "WebTierBatchExecutor",
     "build_trace",
     "burst_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
     "percentile",
     "poisson_arrivals",
     "simulate_serving",

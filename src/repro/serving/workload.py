@@ -1,14 +1,28 @@
 """Arrival-trace generators for the serving bench.
 
-Both generators are pure functions of their arguments (the Poisson one
-of its seed), so every trace replays exactly.
+All generators are pure functions of their arguments (the stochastic
+ones of their seed), so every trace replays exactly.  The
+time-varying ones (:func:`diurnal_arrivals`,
+:func:`flash_crowd_arrivals`) are non-homogeneous Poisson processes
+sampled by thinning: candidate arrivals are drawn at the peak rate and
+accepted with probability ``rate(t) / peak`` — the textbook
+construction, and deterministic because both the candidate gaps and
+the acceptance draws come from one seeded generator.
 """
 
 from __future__ import annotations
 
+import math
+from typing import Callable
+
 import numpy as np
 
-__all__ = ["burst_arrivals", "poisson_arrivals"]
+__all__ = [
+    "burst_arrivals",
+    "diurnal_arrivals",
+    "flash_crowd_arrivals",
+    "poisson_arrivals",
+]
 
 
 def burst_arrivals(
@@ -46,3 +60,98 @@ def poisson_arrivals(
     rng = np.random.default_rng(seed)
     gaps_us = rng.exponential(scale=1e6 / rate_per_s, size=n_requests)
     return (start_us + np.cumsum(gaps_us)).tolist()
+
+
+def _thinned_arrivals(
+    duration_us: float,
+    rate_fn: Callable[[float], float],
+    max_rate_per_s: float,
+    seed: int,
+    start_us: float,
+) -> list[float]:
+    """Non-homogeneous Poisson process over ``[start, start+duration)``
+    by thinning: candidates at ``max_rate_per_s``, each accepted with
+    probability ``rate_fn(t) / max_rate_per_s``."""
+    rng = np.random.default_rng(seed)
+    scale = 1e6 / max_rate_per_s
+    end_us = start_us + duration_us
+    arrivals: list[float] = []
+    t = start_us
+    while True:
+        t += rng.exponential(scale=scale)
+        if t >= end_us:
+            return arrivals
+        if rng.random() * max_rate_per_s <= rate_fn(t):
+            arrivals.append(float(t))
+
+
+def diurnal_arrivals(
+    duration_us: float,
+    trough_rate_per_s: float,
+    peak_rate_per_s: float,
+    period_us: float,
+    seed: int = 0,
+    start_us: float = 0.0,
+) -> list[float]:
+    """Diurnal open-loop traffic: a cosine-modulated Poisson process
+    that starts at the trough rate, crests at ``peak_rate_per_s`` half
+    a period in, and returns to the trough — one simulated "day" per
+    ``period_us``.  This is the workload an elastic fleet is sized
+    against: a static fleet must be provisioned for the peak and then
+    idles through the trough."""
+    if duration_us < 0:
+        raise ValueError(f"duration_us must be >= 0, got {duration_us}")
+    if period_us <= 0:
+        raise ValueError(f"period_us must be > 0, got {period_us}")
+    if trough_rate_per_s <= 0:
+        raise ValueError(
+            f"trough_rate_per_s must be > 0, got {trough_rate_per_s}"
+        )
+    if peak_rate_per_s < trough_rate_per_s:
+        raise ValueError(
+            f"peak_rate_per_s ({peak_rate_per_s}) must be >= "
+            f"trough_rate_per_s ({trough_rate_per_s})"
+        )
+    swing = peak_rate_per_s - trough_rate_per_s
+
+    def rate(t: float) -> float:
+        phase = 2.0 * math.pi * (t - start_us) / period_us
+        return trough_rate_per_s + swing * 0.5 * (1.0 - math.cos(phase))
+
+    return _thinned_arrivals(duration_us, rate, peak_rate_per_s, seed, start_us)
+
+
+def flash_crowd_arrivals(
+    duration_us: float,
+    base_rate_per_s: float,
+    spike_rate_per_s: float,
+    spike_start_us: float,
+    spike_width_us: float,
+    seed: int = 0,
+    start_us: float = 0.0,
+) -> list[float]:
+    """Flash-crowd traffic: steady ``base_rate_per_s`` Poisson arrivals
+    with a rectangular burst to ``spike_rate_per_s`` over
+    ``[spike_start_us, spike_start_us + spike_width_us)`` (offsets
+    relative to ``start_us``).  The step up is instantaneous — the
+    worst case for a reactive autoscaler, and the scenario where a
+    CRITICAL burn-rate page buys reaction time the averaged queue
+    signal cannot."""
+    if duration_us < 0:
+        raise ValueError(f"duration_us must be >= 0, got {duration_us}")
+    if base_rate_per_s <= 0:
+        raise ValueError(f"base_rate_per_s must be > 0, got {base_rate_per_s}")
+    if spike_rate_per_s < base_rate_per_s:
+        raise ValueError(
+            f"spike_rate_per_s ({spike_rate_per_s}) must be >= "
+            f"base_rate_per_s ({base_rate_per_s})"
+        )
+    if spike_start_us < 0 or spike_width_us < 0:
+        raise ValueError("spike_start_us and spike_width_us must be >= 0")
+    lo = start_us + spike_start_us
+    hi = lo + spike_width_us
+
+    def rate(t: float) -> float:
+        return spike_rate_per_s if lo <= t < hi else base_rate_per_s
+
+    return _thinned_arrivals(duration_us, rate, spike_rate_per_s, seed, start_us)

@@ -377,7 +377,7 @@ class TestRestAndWebTier:
         system.enroll("fresh", make_descriptors(32, seed=912))
         system.delete("r0")
         stats = system.stats()
-        assert stats["schema_version"] == 7
+        assert stats["schema_version"] == 8
         block = stats["enrollment"]
         assert block["enrolls_total"] == enrolls0 + 1
         assert block["deletes_total"] == deletes0 + 1

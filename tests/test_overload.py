@@ -752,7 +752,7 @@ class TestRestDeadlines:
             Request("POST", "/search", {"descriptors": query, "budget_us": 1e-3})
         )
         stats = tier.handle(Request("GET", "/stats")).response.body
-        assert stats["schema_version"] == 7
+        assert stats["schema_version"] == 8
         overload = stats["overload"]
         assert overload["deadline_expired_sweeps_total"] >= 1
         assert overload["deadline_skipped_shards_total"] >= 0

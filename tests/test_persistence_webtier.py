@@ -203,7 +203,7 @@ class TestWebTier:
         stats = tier.handle(Request("GET", "/stats")).response
         assert stats.ok
         body = stats.body
-        assert body["schema_version"] == STATS_SCHEMA_VERSION == 7
+        assert body["schema_version"] == STATS_SCHEMA_VERSION == 8
         assert body["references"] == 10
         cache = body["cache"]
         assert cache["adds_total"] > 0  # sealed batches entered the cache
